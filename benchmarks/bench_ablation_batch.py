@@ -1,0 +1,87 @@
+"""Ablation: RPC batch size (§I's "trivial optimization", quantified).
+
+The paper batches KV pairs into 16 KB RPCs — the largest eager payload GNI
+supports.  This ablation sweeps the batch size to show (a) message counts
+fall linearly, (b) the modeled write slowdown degrades sharply once
+per-message CPU costs stop being amortized, and (c) past the eager limit
+the gain flattens (bigger batches don't buy much).
+"""
+
+import pytest
+
+from repro.analysis.reporting import percent, render_table
+from repro.cluster import NARWHAL, SimCluster
+from repro.core.costmodel import WriteRunConfig, model_write_phase
+from repro.core.formats import FMT_BASE, FMT_FILTERKV
+
+BATCHES = (1024, 4096, 16384, 65536)
+
+
+def _cfg(fmt, batch):
+    # 64 processes: small enough that the fat tree is not the bottleneck,
+    # so per-message CPU costs are what batching has to amortize.
+    return WriteRunConfig(
+        fmt=fmt,
+        machine=NARWHAL,
+        nprocs=64,
+        kv_bytes=64,
+        data_per_proc=960e6,
+        batch_bytes=batch,
+        residual_fraction=0.5,
+    )
+
+
+def test_ablation_batch_size_model(report, benchmark):
+    rows = []
+    slowdowns = {}
+    for batch in BATCHES:
+        row = [batch]
+        for fmt in (FMT_BASE, FMT_FILTERKV):
+            r = model_write_phase(_cfg(fmt, batch))
+            slowdowns[(batch, fmt.name)] = r.slowdown
+            row.extend([r.rpc_messages_total, percent(r.slowdown)])
+        rows.append(row)
+    report(
+        render_table(
+            ["batch B", "base msgs", "base slow", "fkv msgs", "fkv slow"],
+            rows,
+            title="Ablation — RPC batch size (64 procs, 64 B KV, 50% residual)",
+        ),
+        name="ablation_batch_model",
+    )
+    # Message counts inversely proportional to batch size.
+    assert rows[0][1] == pytest.approx(16 * rows[2][1], rel=0.01)
+    # Slowdown never improves when batches shrink, and tiny batches hurt
+    # the network-heavy base format outright (per-message CPU dominates).
+    for fmt in ("base", "filterkv"):
+        series = [slowdowns[(b, fmt)] for b in BATCHES]
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+    assert slowdowns[(1024, "base")] > 1.2 * slowdowns[(16384, "base")]
+    benchmark(lambda: model_write_phase(_cfg(FMT_FILTERKV, 16384)))
+
+
+def test_ablation_batch_size_execution(report, benchmark):
+    """Real pipelines: executed message counts track the batch size."""
+    rows = []
+    counts = []
+    for batch in (2048, 8192, 32768):
+        cluster = SimCluster(
+            nranks=8, fmt=FMT_FILTERKV, value_bytes=56, batch_bytes=batch, seed=4
+        )
+        st = cluster.run_epoch(20_000)
+        counts.append(st.rpc_messages)
+        rows.append([batch, st.rpc_messages, round(st.shuffle_bytes / st.rpc_messages)])
+    report(
+        render_table(
+            ["batch B", "messages", "avg payload B"],
+            rows,
+            title="Ablation — batch size, executed pipelines (8 ranks)",
+        ),
+        name="ablation_batch_exec",
+    )
+    assert counts[0] > counts[1] > counts[2]
+    benchmark(
+        lambda: SimCluster(
+            nranks=4, fmt=FMT_FILTERKV, value_bytes=56, batch_bytes=4096, seed=4
+        ).run_epoch(4000)
+    )

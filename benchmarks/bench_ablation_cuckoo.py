@@ -1,0 +1,123 @@
+"""Ablation: partial-key cuckoo design choices (§IV-B).
+
+1. Fingerprint width — the fp bits ↔ amplification ↔ space trade the paper
+   resolves at 4 bits.
+2. Growth policy — the paper's chained tables (no rehash, no key
+   retention) vs classic start-small chaining without a capacity hint,
+   quantifying the utilization the hint buys.
+3. Bucket associativity — 2-way vs 4-way vs 8-way buckets: achievable load
+   before the table declares itself full.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.auxtable import CuckooAuxTable
+from repro.filters.cuckoo import ChainedCuckooTable, PartialKeyCuckooTable
+
+NKEYS = 240_000  # ~1.8×2^17: a 2-table chain, like the paper's example
+NPARTS = 4096
+
+
+def _workload(seed=1):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**63, size=NKEYS, dtype=np.uint64)
+    ranks = rng.integers(0, NPARTS, size=NKEYS, dtype=np.uint64)
+    return keys, ranks
+
+
+def test_ablation_fingerprint_bits(report, benchmark):
+    keys, ranks = _workload()
+    rows = []
+    amps, sizes = [], []
+    for fp_bits in (2, 4, 8, 12):
+        t = CuckooAuxTable(NPARTS, capacity_hint=NKEYS, fp_bits=fp_bits, seed=fp_bits)
+        t.insert_many(keys, ranks)
+        amp = float(t.candidate_counts(keys[:1500]).mean())
+        amps.append(amp)
+        sizes.append(t.bytes_per_key)
+        rows.append([fp_bits, round(amp, 2), round(t.bytes_per_key, 2)])
+    report(
+        render_table(
+            ["fp bits", "partitions/query", "bytes/key"],
+            rows,
+            title="Ablation — cuckoo fingerprint width (amplification vs space)",
+        ),
+        name="ablation_cuckoo_fp",
+    )
+    # More fingerprint bits: monotonically less amplification, more space.
+    assert all(a > b for a, b in zip(amps, amps[1:]))
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    # The paper's 4-bit choice keeps amplification ≈2 at ~2 B/key.
+    assert amps[1] < 2.6 and sizes[1] < 2.5
+    benchmark(lambda: CuckooAuxTable(NPARTS, capacity_hint=1000, fp_bits=4))
+
+
+def test_ablation_growth_policy(report, benchmark):
+    """The capacity hint is what delivers the paper's ~95 % utilization.
+
+    The unhinted comparison streams keys one at a time (the receiver-side
+    reality when nothing announces the burst size), so every overflow
+    table is sized blind.
+    """
+    keys, _ = _workload(seed=2)
+    rows = []
+    utils = {}
+    t = ChainedCuckooTable(fp_bits=4, value_bits=12, capacity_hint=NKEYS, seed=3)
+    t.insert_many(keys, 1)
+    utils["hinted (paper)"] = t.stats.utilization
+    rows.append(
+        ["hinted (paper)", t.stats.ntables, t.stats.nslots, f"{t.stats.utilization * 100:.1f}%"]
+    )
+    u = ChainedCuckooTable(fp_bits=4, value_bits=12, capacity_hint=None, seed=3)
+    for k in keys[:50_000]:  # scalar path; 50 K keeps the runtime sane
+        u.insert(int(k), 1)
+    utils["unhinted streaming"] = u.stats.utilization
+    rows.append(
+        [
+            "unhinted streaming",
+            u.stats.ntables,
+            u.stats.nslots,
+            f"{u.stats.utilization * 100:.1f}%",
+        ]
+    )
+    report(
+        render_table(
+            ["policy", "tables", "slots", "utilization"],
+            rows,
+            title="Ablation — chained growth with vs without a capacity hint",
+        ),
+        name="ablation_cuckoo_growth",
+    )
+    assert utils["hinted (paper)"] > 0.90
+    assert utils["hinted (paper)"] > utils["unhinted streaming"]
+    benchmark(lambda: ChainedCuckooTable(capacity_hint=4096))
+
+
+def test_ablation_bucket_associativity(report, benchmark):
+    """4-way buckets (the paper's choice) unlock ~95 % load; 2-way stall
+    near 85 %; 8-way buy little more."""
+    rows = []
+    loads = {}
+    for spb in (1, 2, 4, 8):
+        t = PartialKeyCuckooTable(
+            max(1, 4096 // spb), fp_bits=12, value_bits=12, slots_per_bucket=spb, seed=spb
+        )
+        keys = np.random.default_rng(spb).integers(
+            0, 2**63, size=t.capacity_slots, dtype=np.uint64
+        )
+        ok = t.insert_many(keys, 0)
+        loads[spb] = float(ok.mean())
+        rows.append([spb, t.capacity_slots, f"{loads[spb] * 100:.1f}%"])
+    report(
+        render_table(
+            ["slots/bucket", "capacity", "achieved load"],
+            rows,
+            title="Ablation — bucket associativity vs achievable load",
+        ),
+        name="ablation_cuckoo_assoc",
+    )
+    assert loads[1] < loads[2] < loads[4] <= min(1.0, loads[8] + 0.02)
+    assert loads[4] > 0.93
+    benchmark(lambda: PartialKeyCuckooTable(256, fp_bits=12, value_bits=8))

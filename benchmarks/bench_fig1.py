@@ -1,0 +1,117 @@
+"""Fig. 1: RPC performance on multicore (Haswell) vs manycore (KNL) CPUs.
+
+Four panels, all regenerated on the discrete-event RPC model:
+
+* 1a — RPC latency vs message size, polling mode;
+* 1b — MPI-style ping-pong latency (a leaner software path, same CPUs);
+* 1c — RPC latency, blocking mode (context switches bite);
+* 1d — per-node all-to-all RPC bandwidth vs processes-per-node, 32 nodes,
+  16 KB messages.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.reporting import render_table
+from repro.net.cpu import CPUS
+from repro.net.flowmodel import pernode_alltoall_bandwidth
+from repro.net.rpc import measure_rpc_latency
+from repro.net.topology import ARIES_DRAGONFLY
+
+SIZES = (8, 256, 1024, 4096, 16384, 65536)
+CPU_SET = ("haswell", "trinity-knl", "theta-knl")
+
+
+def _latency_table(mode: str, cpus=CPU_SET, profile_map=None) -> list[list]:
+    rows = []
+    for size in SIZES:
+        row = [size]
+        for cpu in cpus:
+            prof = profile_map[cpu] if profile_map else cpu
+            row.append(round(measure_rpc_latency(prof, "gni", size, mode).mean_us, 1))
+        rows.append(row)
+    return rows
+
+
+def test_fig1a_rpc_latency_polling(report, benchmark):
+    rows = _latency_table("polling")
+    report(
+        render_table(
+            ["msg bytes", *CPU_SET],
+            rows,
+            title="Fig. 1a — RPC latency, polling mode (µs round trip)",
+        ),
+        name="fig1a",
+    )
+    # Paper anchor: KNL ≈ 4× Haswell.
+    ratio = rows[0][2] / rows[0][1]
+    assert 3.0 < ratio < 5.0
+    benchmark(lambda: measure_rpc_latency("haswell", "gni", 8, "polling", nmessages=16))
+
+
+def test_fig1b_mpi_pingpong(report, benchmark):
+    # MPI's matched-pair path does far less per message than a generic RPC
+    # stack (no handler dispatch, no response serialization).
+    mpi_profiles = {
+        name: replace(CPUS[name], rpc_base_us=1.2, rpc_per_kb_us=0.25)
+        for name in CPU_SET
+    }
+    rows = _latency_table("polling", profile_map=mpi_profiles)
+    report(
+        render_table(
+            ["msg bytes", *CPU_SET],
+            rows,
+            title="Fig. 1b — MPI ping-pong latency (µs)",
+        ),
+        name="fig1b",
+    )
+    # Still ~4× between KNL and Haswell, at much lower absolute values.
+    assert rows[0][1] < 10.0
+    assert 2.5 < rows[0][2] / rows[0][1] < 5.5
+    benchmark(
+        lambda: measure_rpc_latency(mpi_profiles["haswell"], "gni", 8, nmessages=16)
+    )
+
+
+def test_fig1c_rpc_latency_blocking(report, benchmark):
+    rows_block = _latency_table("blocking")
+    rows_poll = _latency_table("polling")
+    report(
+        render_table(
+            ["msg bytes", *CPU_SET],
+            rows_block,
+            title="Fig. 1c — RPC latency, blocking mode (µs round trip)",
+        ),
+        name="fig1c",
+    )
+    # Blocking hurts everywhere, and hurts KNL more in absolute terms.
+    for rb, rp in zip(rows_block, rows_poll):
+        assert rb[1] > rp[1] and rb[2] > rp[2]
+        assert (rb[2] - rp[2]) > (rb[1] - rp[1])
+    benchmark(lambda: measure_rpc_latency("trinity-knl", "gni", 8, "blocking", nmessages=16))
+
+
+def test_fig1d_bandwidth_vs_ppn(report, benchmark):
+    ppns = (1, 4, 8, 16, 32, 64)
+    rows = []
+    for ppn in ppns:
+        row = [ppn]
+        for cpu in ("haswell", "trinity-knl"):
+            bw = pernode_alltoall_bandwidth(cpu, "gni", ARIES_DRAGONFLY, 32, ppn, 16384)
+            row.append(round(bw.bandwidth / 1e6))
+        rows.append(row)
+    report(
+        render_table(
+            ["PPN", "trinity-haswell MB/s", "trinity-knl MB/s"],
+            rows,
+            title="Fig. 1d — per-node all-to-all RPC bandwidth, 16 KB msgs, 32 nodes",
+        ),
+        name="fig1d",
+    )
+    # Paper anchors: Haswell plateau ~3× the KNL plateau despite fewer cores.
+    hs_plateau, knl_plateau = rows[-1][1], rows[-1][2]
+    assert 2.3 < hs_plateau / knl_plateau < 5.0
+    benchmark(
+        lambda: pernode_alltoall_bandwidth(
+            "haswell", "gni", ARIES_DRAGONFLY, 32, 32, 16384
+        ).bandwidth
+    )

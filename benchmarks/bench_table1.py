@@ -1,0 +1,60 @@
+"""Table I: Bloom bytes/key to bound partitions-per-query at 2 and 10.
+
+Regenerates the paper's Table I from the closed-form Bloom math and
+cross-checks the bound *empirically* by building a real Bloom aux table at
+reduced scale and measuring partitions per query.
+"""
+
+import numpy as np
+
+from repro.analysis.models import TABLE1_MACHINES, bloom_bytes_per_key_for_bound
+from repro.analysis.reporting import render_table
+from repro.core.auxtable import BloomAuxTable
+
+
+def test_table1_budgets(report, benchmark):
+    rows = []
+    for m in TABLE1_MACHINES:
+        rows.append(
+            [
+                m.rank,
+                f"{m.name} ({m.organization})",
+                f"{m.cores / 1000:.0f}K",
+                round(m.b2(), 2),
+                round(m.paper_b2, 2),
+                round(m.b10(), 2),
+                round(m.paper_b10, 2),
+            ]
+        )
+    report(
+        render_table(
+            ["rank", "machine", "cores", "b2", "b2(paper)", "b10", "b10(paper)"],
+            rows,
+            title="Table I — Bloom filter bytes/key bounding partitions/query",
+        ),
+        name="table1",
+    )
+    benchmark(lambda: [bloom_bytes_per_key_for_bound(m.cores, 2) for m in TABLE1_MACHINES])
+
+
+def test_table1_bound_holds_empirically(report, benchmark):
+    """Build a real Bloom aux table at the b2 budget for a 4096-partition
+    job and verify queries touch ≈2 partitions."""
+    nparts, nkeys = 4096, 50_000
+    budget_bytes = bloom_bytes_per_key_for_bound(nparts, 2)
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 2**63, size=nkeys, dtype=np.uint64)
+    ranks = rng.integers(0, nparts, size=nkeys, dtype=np.uint64)
+    table = BloomAuxTable(nparts, capacity_hint=nkeys, bits_per_key=budget_bytes * 8)
+    table.insert_many(keys, ranks)
+    sample = keys[:256]
+    amp = benchmark(lambda: table.candidate_counts(sample).mean())
+    report(
+        render_table(
+            ["partitions", "budget B/key", "target bound", "measured partitions/query"],
+            [[nparts, round(budget_bytes, 2), 2, round(float(amp), 2)]],
+            title="Table I cross-check — empirical bound at the b2 budget",
+        ),
+        name="table1_empirical",
+    )
+    assert amp < 3.0  # the b2 budget must deliver ~2 partitions/query

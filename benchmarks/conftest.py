@@ -1,0 +1,37 @@
+"""Shared plumbing for the reproduction benchmarks.
+
+Every ``bench_*.py`` regenerates one table or figure from the paper: it
+prints the same rows/series the paper reports and saves them under
+``benchmarks/results/`` (EXPERIMENTS.md embeds those files).  The pytest-
+benchmark fixture times each harness's representative kernel so
+``pytest benchmarks/ --benchmark-only`` exercises everything.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run Fig. 7 at the paper's full 16 M keys
+  (default scales to 1 M; per-key metrics are scale-independent).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def report(request):
+    """Save (and echo) one experiment's rendered output."""
+
+    def _save(text: str, name: str | None = None) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        fname = name or request.node.name.replace("[", "_").replace("]", "")
+        (RESULTS_DIR / f"{fname}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

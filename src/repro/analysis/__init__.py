@@ -1,0 +1,32 @@
+"""Closed-form models (Table I math) and report rendering."""
+
+from .calibration import CalibrationCheck, audit
+from .models import (
+    TABLE1_MACHINES,
+    Table1Machine,
+    bloom_amplification,
+    bloom_bytes_per_key_for_bound,
+    cuckoo_amplification,
+)
+from .figures import ascii_bars, ascii_series
+from .tradeoffs import kv_size_crossover, storage_bandwidth_crossover
+from .reporting import banner, format_value, mb, percent, render_table
+
+__all__ = [
+    "CalibrationCheck",
+    "audit",
+    "TABLE1_MACHINES",
+    "Table1Machine",
+    "bloom_amplification",
+    "bloom_bytes_per_key_for_bound",
+    "cuckoo_amplification",
+    "banner",
+    "ascii_bars",
+    "ascii_series",
+    "kv_size_crossover",
+    "storage_bandwidth_crossover",
+    "format_value",
+    "mb",
+    "percent",
+    "render_table",
+]

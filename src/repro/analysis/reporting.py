@@ -1,0 +1,53 @@
+"""Fixed-width table/series renderers for the benchmark harness.
+
+Every ``benchmarks/bench_*.py`` prints the rows/series the corresponding
+paper table or figure reports; these helpers keep that output uniform and
+diff-friendly (EXPERIMENTS.md embeds it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_value", "percent", "mb", "banner"]
+
+
+def format_value(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def percent(x: float) -> str:
+    """Render a fractional slowdown the way the paper does (x1.0 = 100 %)."""
+    return f"{x * 100:.0f}%"
+
+
+def mb(nbytes: float) -> str:
+    return f"{nbytes / 1e6:.1f}MB"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(40, len(text) + 4)
+    return f"{bar}\n  {text}\n{bar}"

@@ -1,0 +1,103 @@
+"""Crossover analysis: where one partitioning format overtakes another.
+
+The paper's evaluation is organized around crossovers — base beats the
+indirection formats when storage is slow (Fig. 10a left), DataPtr falls
+behind base for tiny KV pairs (Fig. 9), FilterKV wins once networks or
+record counts grow.  These helpers locate the crossover points of the
+write-phase model numerically, so a deployment can be placed on the right
+side of each boundary without sweeping by hand.
+"""
+
+from __future__ import annotations
+
+from ..cluster.machines import Machine
+from ..core.costmodel import WriteRunConfig, model_write_phase
+from ..core.formats import FormatSpec
+
+__all__ = ["storage_bandwidth_crossover", "kv_size_crossover"]
+
+
+def _slowdown(fmt: FormatSpec, machine: Machine, nprocs: int, kv: int, dpp: float, resid):
+    return model_write_phase(
+        WriteRunConfig(
+            fmt=fmt,
+            machine=machine,
+            nprocs=nprocs,
+            kv_bytes=kv,
+            data_per_proc=dpp,
+            residual_fraction=resid,
+        )
+    ).slowdown
+
+
+def storage_bandwidth_crossover(
+    fmt_a: FormatSpec,
+    fmt_b: FormatSpec,
+    machine: Machine,
+    nprocs: int,
+    kv_bytes: int,
+    data_per_proc: float,
+    residual_fraction: float | None = None,
+    lo: float = 1e6,
+    hi: float = 1e11,
+    iterations: int = 60,
+) -> float | None:
+    """Per-node storage bandwidth where ``fmt_a`` and ``fmt_b`` tie.
+
+    Returns None when one format dominates across the whole ``[lo, hi]``
+    range.  Above the returned bandwidth the format with the smaller
+    network footprint wins (Fig. 10a's structure).
+    """
+
+    def gap(bw: float) -> float:
+        m = machine.with_storage_bandwidth(bw)
+        return _slowdown(fmt_a, m, nprocs, kv_bytes, data_per_proc, residual_fraction) - _slowdown(
+            fmt_b, m, nprocs, kv_bytes, data_per_proc, residual_fraction
+        )
+
+    g_lo, g_hi = gap(lo), gap(hi)
+    if g_lo == 0:
+        return lo
+    if g_hi == 0:
+        return hi
+    if (g_lo > 0) == (g_hi > 0):
+        return None  # no sign change: one format dominates
+    for _ in range(iterations):
+        mid = (lo * hi) ** 0.5  # geometric: bandwidths span decades
+        if (gap(mid) > 0) == (g_lo > 0):
+            lo = mid
+        else:
+            hi = mid
+    return (lo * hi) ** 0.5
+
+
+def kv_size_crossover(
+    fmt_a: FormatSpec,
+    fmt_b: FormatSpec,
+    machine: Machine,
+    nprocs: int,
+    data_per_proc: float,
+    residual_fraction: float | None = None,
+    lo: int = 9,
+    hi: int = 4096,
+) -> int | None:
+    """Smallest KV size (bytes) at which ``fmt_a`` stops losing to
+    ``fmt_b`` (Fig. 9's structure: indirection catches up as records
+    grow).  None when no flip occurs in ``[lo, hi]``."""
+
+    def gap(kv: int) -> float:
+        return _slowdown(fmt_a, machine, nprocs, kv, data_per_proc, residual_fraction) - _slowdown(
+            fmt_b, machine, nprocs, kv, data_per_proc, residual_fraction
+        )
+
+    if gap(lo) <= 0:
+        return lo  # already winning at the smallest size
+    if gap(hi) > 0:
+        return None
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return hi

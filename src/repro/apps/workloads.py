@@ -1,0 +1,75 @@
+"""Synthetic workload generators for the microbenchmarks (paper §V-A).
+
+The paper's driver program starts N parallel processes, each generating
+random KV pairs of a fixed size; keys are 8-byte random integers.  This
+module provides that generator plus two alternative key distributions used
+by the extension benchmarks (skewed keys stress load balance; sequential
+keys are the best case for compression and the worst for entropy claims).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.kv import KVBatch, random_kv_batch
+from ..filters.hashing import splitmix64
+
+__all__ = ["uniform_batches", "zipf_batches", "sequential_batches", "microbench_stream"]
+
+
+def uniform_batches(
+    nbatches: int, records_per_batch: int, value_bytes: int, seed: int = 0
+) -> Iterator[KVBatch]:
+    """The paper's workload: uniformly random 8-byte keys."""
+    rng = np.random.default_rng(seed)
+    for _ in range(nbatches):
+        yield random_kv_batch(records_per_batch, value_bytes, rng)
+
+
+def zipf_batches(
+    nbatches: int,
+    records_per_batch: int,
+    value_bytes: int,
+    a: float = 1.3,
+    universe: int = 1 << 24,
+    seed: int = 0,
+) -> Iterator[KVBatch]:
+    """Zipf-skewed keys (hot keys repeat).  Keys are scrambled through
+    splitmix64 so skew lives in *frequency*, not in key-space locality."""
+    if a <= 1.0:
+        raise ValueError("zipf exponent must be > 1")
+    rng = np.random.default_rng(seed)
+    for _ in range(nbatches):
+        raw = rng.zipf(a, size=records_per_batch) % universe
+        keys = splitmix64(raw.astype(np.uint64))
+        values = rng.integers(0, 256, size=(records_per_batch, value_bytes), dtype=np.uint8)
+        yield KVBatch(keys, values)
+
+
+def sequential_batches(
+    nbatches: int, records_per_batch: int, value_bytes: int, start: int = 0, seed: int = 0
+) -> Iterator[KVBatch]:
+    """Monotonically increasing keys — minimal entropy, maximal
+    compressibility; the antithesis of the paper's HPC assumption."""
+    rng = np.random.default_rng(seed)
+    next_key = start
+    for _ in range(nbatches):
+        keys = np.arange(next_key, next_key + records_per_batch, dtype=np.uint64)
+        next_key += records_per_batch
+        values = rng.integers(0, 256, size=(records_per_batch, value_bytes), dtype=np.uint8)
+        yield KVBatch(keys, values)
+
+
+def microbench_stream(
+    rank: int, records: int, value_bytes: int, batch_records: int = 4096, seed: int = 0
+) -> Iterator[KVBatch]:
+    """Per-rank stream matching the paper's §V-A driver: each process
+    generates ``records`` random KV pairs in buffered batches."""
+    rng = np.random.default_rng((seed << 20) ^ rank)
+    remaining = records
+    while remaining > 0:
+        n = min(batch_records, remaining)
+        yield random_kv_batch(n, value_bytes, rng)
+        remaining -= n

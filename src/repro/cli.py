@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``     — package, module, and machine inventory;
+* ``compare``  — run all three formats on a simulated cluster and print
+  the measured network/storage/message costs;
+* ``advise``   — recommend a format for a deployment (machine, job size,
+  KV size, read weight);
+* ``table1``   — print the paper's Table I from the Bloom math;
+* ``machines`` — list the built-in machine models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="FilterKV: compact filters for fast online data partitioning "
+        "(CLUSTER'19 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and experiment inventory")
+    sub.add_parser("machines", help="list machine models")
+    sub.add_parser("table1", help="print Table I (Bloom bytes/key bounds)")
+
+    c = sub.add_parser("compare", help="run the three formats on a simulated cluster")
+    c.add_argument("--ranks", type=int, default=8)
+    c.add_argument("--records", type=int, default=10_000, help="records per rank")
+    c.add_argument("--value-bytes", type=int, default=56)
+    c.add_argument("--seed", type=int, default=0)
+
+    a = sub.add_parser("advise", help="recommend a format for a deployment")
+    a.add_argument("--machine", default="narwhal")
+    a.add_argument("--procs", type=int, default=256)
+    a.add_argument("--kv-bytes", type=int, default=64)
+    a.add_argument("--data-per-proc", type=float, default=960e6)
+    a.add_argument("--residual", type=float, default=None)
+    a.add_argument("--read-weight", type=float, default=0.1)
+    return p
+
+
+def _cmd_info() -> str:
+    import repro
+
+    lines = [
+        f"repro {repro.__version__} — FilterKV reproduction (IEEE CLUSTER 2019)",
+        "subpackages: filters, storage, net, cluster, core, apps, analysis",
+        "experiments: Table I, Figs. 1/7/8/9/10/11 (see benchmarks/)",
+        "docs: README.md, DESIGN.md, EXPERIMENTS.md",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_machines() -> str:
+    from .cluster.machines import MACHINES
+
+    rows = []
+    for m in MACHINES.values():
+        rows.append(
+            f"{m.name:16s} cpu={m.cpu.name:12s} x{m.cpu.cores_per_node:<3d} "
+            f"ppn={m.ppn:<3d} transport={m.transport.name:12s} "
+            f"storage={m.storage_bw_per_node / 1e6:.0f} MB/s/node"
+        )
+    return "\n".join(rows)
+
+
+def _cmd_table1() -> str:
+    from .analysis.models import TABLE1_MACHINES
+    from .analysis.reporting import render_table
+
+    rows = [
+        [m.rank, m.name, f"{m.cores / 1000:.0f}K", round(m.b2(), 2), round(m.b10(), 2)]
+        for m in TABLE1_MACHINES
+    ]
+    return render_table(["rank", "machine", "cores", "b2 B/key", "b10 B/key"], rows)
+
+
+def _cmd_compare(args) -> str:
+    from .analysis.reporting import render_table
+    from .cluster.simcluster import SimCluster
+    from .core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
+
+    rows = []
+    for fmt in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV):
+        cluster = SimCluster(
+            nranks=args.ranks,
+            fmt=fmt,
+            value_bytes=args.value_bytes,
+            records_hint=args.ranks * args.records,
+            seed=args.seed,
+        )
+        st = cluster.run_epoch(args.records)
+        rows.append(
+            [
+                fmt.name,
+                st.rpc_messages,
+                round(st.shuffle_bytes_per_record, 2),
+                round(st.storage_bytes_per_record, 2),
+                round(st.aux_bytes / st.records, 2) if st.aux_bytes else "-",
+            ]
+        )
+    return render_table(
+        ["format", "msgs", "net B/rec", "disk B/rec", "aux B/key"],
+        rows,
+        title=f"{args.ranks} ranks × {args.records} records × "
+        f"{8 + args.value_bytes} B KV pairs",
+    )
+
+
+def _cmd_advise(args) -> str:
+    from .cluster.machines import MACHINES
+    from .core.advisor import recommend_format
+
+    if args.machine not in MACHINES:
+        raise SystemExit(f"unknown machine {args.machine!r}; try: {', '.join(MACHINES)}")
+    advice = recommend_format(
+        MACHINES[args.machine],
+        nprocs=args.procs,
+        kv_bytes=args.kv_bytes,
+        data_per_proc=args.data_per_proc,
+        residual_fraction=args.residual,
+        read_weight=args.read_weight,
+    )
+    return advice.explain()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(legacy=False)
+    out = {
+        "info": _cmd_info,
+        "machines": _cmd_machines,
+        "table1": _cmd_table1,
+    }
+    if args.command in out:
+        print(out[args.command]())
+    elif args.command == "compare":
+        print(_cmd_compare(args))
+    elif args.command == "advise":
+        print(_cmd_advise(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

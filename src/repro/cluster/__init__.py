@@ -1,0 +1,18 @@
+"""Cluster substrate: machine configs, burst buffers, simulated cluster."""
+
+from .burstbuffer import FIG10_RATIOS, BurstBufferAllocation
+from .machines import MACHINES, NARWHAL, THETA_KNL, TRINITY_HASWELL, TRINITY_KNL, Machine
+from .simcluster import ClusterStats, SimCluster
+
+__all__ = [
+    "FIG10_RATIOS",
+    "BurstBufferAllocation",
+    "MACHINES",
+    "NARWHAL",
+    "THETA_KNL",
+    "TRINITY_HASWELL",
+    "TRINITY_KNL",
+    "Machine",
+    "ClusterStats",
+    "SimCluster",
+]

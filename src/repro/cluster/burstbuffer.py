@@ -1,0 +1,49 @@
+"""Burst-buffer allocations: compute-to-storage node ratios (Fig. 10).
+
+Trinity pairs roughly one burst-buffer node with every 32 compute nodes
+(§V-A); jobs can request larger allocations.  Fig. 10's x-axis sweeps the
+compute:storage ratio from 32:1 down to 12:1, which at the paper's job
+size corresponds to 11–28 GB/s of aggregate storage bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BurstBufferAllocation", "FIG10_RATIOS"]
+
+# Per-BB-node sustained write bandwidth calibrated so the paper's ratios
+# land on its reported 11/17/21/28 GB/s aggregate figures.
+_BB_NODE_BW = 5.5e9
+
+
+@dataclass(frozen=True)
+class BurstBufferAllocation:
+    """A job's burst-buffer share."""
+
+    compute_nodes: int
+    ratio: float  # compute nodes per burst-buffer node
+    bb_node_bandwidth: float = _BB_NODE_BW
+
+    def __post_init__(self):
+        if self.compute_nodes < 1:
+            raise ValueError("compute_nodes must be >= 1")
+        if self.ratio <= 0:
+            raise ValueError("ratio must be positive")
+
+    @property
+    def bb_nodes(self) -> float:
+        return self.compute_nodes / self.ratio
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Total storage bandwidth available to the job (bytes/s)."""
+        return self.bb_nodes * self.bb_node_bandwidth
+
+    @property
+    def bandwidth_per_compute_node(self) -> float:
+        return self.aggregate_bandwidth / self.compute_nodes
+
+
+# The four compute:storage ratios on Fig. 10's x-axis.
+FIG10_RATIOS = (32.0, 20.0, 16.0, 12.0)

@@ -1,0 +1,107 @@
+"""Named machine configurations for the paper's three testbeds.
+
+A `Machine` bundles the processor profile, transport, topology, process
+placement, and per-node plain-write storage bandwidth.  The write-phase
+cost model consumes these; `SimCluster` uses them only for labeling (its
+byte/message accounting is exact and machine-independent).
+
+Calibrated per-machine constants (see EXPERIMENTS.md):
+
+* ``storage_bw_per_node`` — Narwhal's effective per-node write bandwidth
+  (~125 MB/s, its NIC line rate, since storage is remote).
+* ``insitu_shuffle_efficiency`` — fraction of the microbenchmark shuffle
+  bandwidth achievable while the application is also computing and writing
+  (Fig. 10: busy KNL nodes shuffle far below their microbenchmark plateau).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..net.cpu import CPUS, TRANSPORTS, CpuProfile, TransportProfile
+from ..net.topology import ARIES_DRAGONFLY, NARWHAL_FATTREE, DragonflyTopology, FatTreeTopology
+
+__all__ = ["Machine", "MACHINES", "NARWHAL", "TRINITY_HASWELL", "TRINITY_KNL", "THETA_KNL"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One named cluster configuration."""
+
+    name: str
+    cpu: CpuProfile
+    transport: TransportProfile
+    topology: FatTreeTopology | DragonflyTopology
+    ppn: int
+    storage_bw_per_node: float
+    insitu_shuffle_efficiency: float = 1.0
+
+    def __post_init__(self):
+        if self.ppn < 1:
+            raise ValueError("ppn must be >= 1")
+        if self.storage_bw_per_node <= 0:
+            raise ValueError("storage_bw_per_node must be positive")
+        if not 0 < self.insitu_shuffle_efficiency <= 1:
+            raise ValueError("insitu_shuffle_efficiency must be in (0, 1]")
+
+    def with_transport(self, transport: str | TransportProfile) -> "Machine":
+        """Same machine over a different transport (Fig. 10b: GNI vs TCP)."""
+        tr = TRANSPORTS[transport] if isinstance(transport, str) else transport
+        return replace(self, transport=tr, name=f"{self.name}+{tr.name}")
+
+    def with_storage_bandwidth(self, per_node: float) -> "Machine":
+        """Same machine with a different storage allocation (Fig. 10 x-axis)."""
+        return replace(self, storage_bw_per_node=per_node)
+
+    def nnodes_for(self, nprocs: int) -> int:
+        return -(-nprocs // self.ppn)
+
+
+# CMU Narwhal: 4-core nodes, 1000 Mbps Ethernet, oversubscribed fat tree
+# (paper §V-A).  Storage is reached over the NIC, so plain-write bandwidth
+# per node is the NIC line rate.
+NARWHAL = Machine(
+    name="narwhal",
+    cpu=CPUS["narwhal"],
+    transport=TRANSPORTS["ethernet-1g"],
+    topology=NARWHAL_FATTREE,
+    ppn=4,
+    storage_bw_per_node=125e6,
+)
+
+# LANL Trinity Haswell partition: 32-core nodes on Aries/GNI (§V-B).
+TRINITY_HASWELL = Machine(
+    name="trinity-haswell",
+    cpu=CPUS["haswell"],
+    transport=TRANSPORTS["gni"],
+    topology=ARIES_DRAGONFLY,
+    ppn=32,
+    storage_bw_per_node=170e6,  # overridden per burst-buffer allocation
+    insitu_shuffle_efficiency=0.8,
+)
+
+# LANL Trinity KNL partition: 68-core manycore nodes (§V-B).
+TRINITY_KNL = Machine(
+    name="trinity-knl",
+    cpu=CPUS["trinity-knl"],
+    transport=TRANSPORTS["gni"],
+    topology=ARIES_DRAGONFLY,
+    ppn=64,
+    storage_bw_per_node=170e6,  # overridden per burst-buffer allocation
+    insitu_shuffle_efficiency=0.45,
+)
+
+# ANL Theta: KNL-only machine used in the Fig. 1 microbenchmarks.
+THETA_KNL = Machine(
+    name="theta-knl",
+    cpu=CPUS["theta-knl"],
+    transport=TRANSPORTS["gni"],
+    topology=ARIES_DRAGONFLY,
+    ppn=64,
+    storage_bw_per_node=170e6,
+    insitu_shuffle_efficiency=0.45,
+)
+
+MACHINES: dict[str, Machine] = {
+    m.name: m for m in (NARWHAL, TRINITY_HASWELL, TRINITY_KNL, THETA_KNL)
+}

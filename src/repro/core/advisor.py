@@ -1,0 +1,94 @@
+"""Format advisor: which partitioning scheme fits a given deployment?
+
+The paper's conclusion sketches the decision surface — FilterKV "works
+best when a job consists of a large number of parallel processes and when
+the effective network-storage ratio of a job is relatively low", base wins
+when storage is the bottleneck, DataPtr when values are huge and reads
+must stay exact.  This module turns that prose into a function: evaluate
+the write-phase model for all three formats, fold in a read-cost proxy,
+and recommend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.machines import Machine
+from .auxtable import rank_bits
+from .costmodel import WriteRunConfig, model_write_phase
+from .formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV, FormatSpec
+
+__all__ = ["Advice", "recommend_format"]
+
+# Read-cost proxy: relative point-query cost per format (Fig. 11's reads
+# per query: base 3.1, dataptr 4.1, filterkv ~6.5).
+_READ_COST = {"base": 3.1, "dataptr": 4.1, "filterkv": 6.5}
+
+
+@dataclass(frozen=True)
+class Advice:
+    """Recommendation with the evidence behind it."""
+
+    recommended: str
+    write_slowdowns: dict[str, float]
+    read_costs: dict[str, float]
+    scores: dict[str, float]
+    read_weight: float
+
+    def explain(self) -> str:
+        lines = [f"recommended format: {self.recommended}  (read_weight={self.read_weight})"]
+        for name in sorted(self.scores, key=self.scores.get):
+            lines.append(
+                f"  {name:9s} score={self.scores[name]:7.3f} "
+                f"write_slowdown={self.write_slowdowns[name] * 100:7.1f}% "
+                f"relative_read_cost={self.read_costs[name]:.1f}"
+            )
+        return "\n".join(lines)
+
+
+def recommend_format(
+    machine: Machine,
+    nprocs: int,
+    kv_bytes: int,
+    data_per_proc: float,
+    residual_fraction: float | None = None,
+    read_weight: float = 0.1,
+    formats: tuple[FormatSpec, ...] = (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV),
+) -> Advice:
+    """Pick the format minimizing ``write_slowdown + read_weight·read_cost``.
+
+    ``read_weight`` expresses how query-heavy the workload is: 0 = pure
+    write burst (the paper's in-situ regime), 1 = every record will be
+    read back individually.  Read cost is normalized to the base format.
+    """
+    if not 0 <= read_weight <= 1:
+        raise ValueError("read_weight must be in [0, 1]")
+    slowdowns: dict[str, float] = {}
+    read_costs: dict[str, float] = {}
+    scores: dict[str, float] = {}
+    for fmt in formats:
+        r = model_write_phase(
+            WriteRunConfig(
+                fmt=fmt,
+                machine=machine,
+                nprocs=nprocs,
+                kv_bytes=kv_bytes,
+                data_per_proc=data_per_proc,
+                residual_fraction=residual_fraction,
+            )
+        )
+        slowdowns[fmt.name] = r.slowdown
+        rc = _READ_COST[fmt.name] / _READ_COST["base"]
+        if fmt.name == "filterkv":
+            # Deeper partition counts mean slightly more candidate probes.
+            rc *= 1.0 + 0.01 * rank_bits(nprocs)
+        read_costs[fmt.name] = rc
+        scores[fmt.name] = r.slowdown + read_weight * (rc - 1.0)
+    best = min(scores, key=scores.get)
+    return Advice(
+        recommended=best,
+        write_slowdowns=slowdowns,
+        read_costs=read_costs,
+        scores=scores,
+        read_weight=read_weight,
+    )

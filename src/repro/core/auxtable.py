@@ -1,0 +1,427 @@
+"""Auxiliary tables: key → candidate source ranks (paper §III-C, §IV).
+
+An auxiliary table lives at each data partition and records, for every key
+the partition owns, *which process wrote the key's data*.  FilterKV makes
+this mapping lossy to make it small.  Four interchangeable backends:
+
+`ExactAuxTable`
+    The state of the art (Fmt-DataPtr): exact 12-byte pointers
+    (4 B rank + 8 B offset).  Amplification is always 1.
+`BloomAuxTable`
+    §IV-A: opaque ``key‖rank`` mappings in a Bloom filter; queries test
+    every candidate rank, so amplification grows with the partition count.
+`CuckooAuxTable`
+    §IV-B: the filter–index hybrid on partial-key cuckoo hash tables;
+    one lookup returns all candidate ranks, amplification bounded by the
+    fingerprint width.
+`QuotientAuxTable`
+    Related-work alternative (§VI): quotient filter probed per rank like
+    the Bloom design.  Scalar; used by the backend ablation.
+
+All byte accounting counts only the *index* data (the paper's Fig. 7b
+"per-key space overhead"), not the keys or values themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..filters.bloom import BloomFilter
+from ..filters.cuckoo import ChainedCuckooTable
+from ..filters.hashing import hash_pair
+from ..filters.quotient import QuotientFilter
+from ..filters.xorfilter import XorFilter
+
+__all__ = [
+    "AuxTable",
+    "ExactAuxTable",
+    "BloomAuxTable",
+    "CuckooAuxTable",
+    "QuotientAuxTable",
+    "XorAuxTable",
+    "make_aux_table",
+    "bloom_bits_per_key",
+    "rank_bits",
+]
+
+
+def rank_bits(nparts: int) -> int:
+    """Bits needed to name one of ``nparts`` partitions (≥1)."""
+    return max(1, math.ceil(math.log2(max(2, nparts))))
+
+
+def bloom_bits_per_key(nparts: int) -> float:
+    """The paper's Fig. 7 Bloom budget: ``4 + log2(N)`` bits per key,
+    chosen to equal the cuckoo table's per-slot width."""
+    return 4.0 + math.log2(max(2, nparts))
+
+
+def _pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack each value's low ``bits`` bits into a dense bitstream (the
+    on-storage representation used for size and compressibility)."""
+    if bits == 0 or values.size == 0:
+        return b""
+    v = np.asarray(values, dtype=np.uint64)
+    bitmat = ((v[:, None] >> np.arange(bits, dtype=np.uint64)) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bitmat, axis=None).tobytes()
+
+
+class AuxTable(ABC):
+    """Common interface over the four backends."""
+
+    def __init__(self, nparts: int):
+        if nparts < 1:
+            raise ValueError(f"nparts must be >= 1, got {nparts}")
+        self.nparts = int(nparts)
+        self._nkeys = 0
+
+    @abstractmethod
+    def insert_many(self, keys: np.ndarray, src_ranks: np.ndarray | int) -> None:
+        """Record that each key's data lives at the given source rank."""
+
+    @abstractmethod
+    def candidate_ranks(self, key: int) -> np.ndarray:
+        """Sorted distinct ranks that *may* hold the key (must include the
+        true one — no false negatives)."""
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Serialized index payload (what lands on storage)."""
+
+    @property
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """On-storage index size in bytes."""
+
+    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Query amplification per key (Fig. 7a's metric)."""
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        return np.asarray([len(self.candidate_ranks(int(k))) for k in keys], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._nkeys
+
+    @property
+    def bytes_per_key(self) -> float:
+        return self.size_bytes / self._nkeys if self._nkeys else 0.0
+
+    def _check_insert(self, keys: np.ndarray, src_ranks) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        ranks = np.broadcast_to(np.asarray(src_ranks, dtype=np.uint64), keys.shape)
+        if ranks.size and int(ranks.max()) >= self.nparts:
+            raise ValueError(f"rank {int(ranks.max())} out of range for {self.nparts} partitions")
+        return keys, ranks
+
+
+class ExactAuxTable(AuxTable):
+    """Exact pointers (the current state of the art, Fmt-DataPtr).
+
+    Stores 12 bytes per key: a 4-byte rank and an 8-byte offset.  Offsets
+    default to each key's running byte position in its source log.
+    """
+
+    POINTER_BYTES = 12
+
+    def __init__(self, nparts: int):
+        super().__init__(nparts)
+        self._key_chunks: list[np.ndarray] = []
+        self._rank_chunks: list[np.ndarray] = []
+        self._offset_chunks: list[np.ndarray] = []
+        self._sorted: tuple[np.ndarray, np.ndarray] | None = None
+
+    def insert_many(
+        self,
+        keys: np.ndarray,
+        src_ranks: np.ndarray | int,
+        offsets: np.ndarray | None = None,
+    ) -> None:
+        keys, ranks = self._check_insert(keys, src_ranks)
+        if offsets is None:
+            offsets = np.arange(self._nkeys, self._nkeys + keys.size, dtype=np.uint64)
+        else:
+            offsets = np.asarray(offsets, dtype=np.uint64).ravel()
+            if offsets.shape != keys.shape:
+                raise ValueError("offsets must match keys")
+        self._key_chunks.append(keys.copy())
+        self._rank_chunks.append(ranks.astype(np.uint32))
+        self._offset_chunks.append(offsets)
+        self._nkeys += keys.size
+        self._sorted = None
+
+    def _ensure_sorted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._sorted is None:
+            keys = (
+                np.concatenate(self._key_chunks)
+                if self._key_chunks
+                else np.zeros(0, dtype=np.uint64)
+            )
+            ranks = (
+                np.concatenate(self._rank_chunks)
+                if self._rank_chunks
+                else np.zeros(0, dtype=np.uint32)
+            )
+            order = np.argsort(keys, kind="stable")
+            self._sorted = (keys[order], ranks[order])
+        return self._sorted
+
+    def candidate_ranks(self, key: int) -> np.ndarray:
+        keys, ranks = self._ensure_sorted()
+        lo = np.searchsorted(keys, np.uint64(key), side="left")
+        hi = np.searchsorted(keys, np.uint64(key), side="right")
+        return np.unique(ranks[lo:hi]).astype(np.int64)
+
+    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+        skeys, _ = self._ensure_sorted()
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        lo = np.searchsorted(skeys, keys, side="left")
+        hi = np.searchsorted(skeys, keys, side="right")
+        # Exact pointers: every stored occurrence is a distinct precise hit;
+        # duplicated keys are rare in the paper's workloads, so hi-lo ≈ 1.
+        return np.maximum(hi - lo, 0).astype(np.int64)
+
+    def to_bytes(self) -> bytes:
+        ranks = (
+            np.concatenate(self._rank_chunks) if self._rank_chunks else np.zeros(0, np.uint32)
+        )
+        offsets = (
+            np.concatenate(self._offset_chunks)
+            if self._offset_chunks
+            else np.zeros(0, np.uint64)
+        )
+        out = np.zeros(ranks.size * self.POINTER_BYTES, dtype=np.uint8)
+        view = out.reshape(-1, self.POINTER_BYTES)
+        view[:, :4] = ranks.astype("<u4").view(np.uint8).reshape(-1, 4)
+        view[:, 4:] = offsets.astype("<u8").view(np.uint8).reshape(-1, 8)
+        return out.tobytes()
+
+    @property
+    def size_bytes(self) -> int:
+        return self._nkeys * self.POINTER_BYTES
+
+
+class BloomAuxTable(AuxTable):
+    """Bloom-filter aux table: insert key‖rank, probe every rank (§IV-A)."""
+
+    def __init__(
+        self,
+        nparts: int,
+        capacity_hint: int,
+        bits_per_key: float | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(nparts)
+        if capacity_hint <= 0:
+            raise ValueError("capacity_hint must be positive")
+        self.bits_per_key = bloom_bits_per_key(nparts) if bits_per_key is None else bits_per_key
+        self._filter = BloomFilter.from_bits_per_key(capacity_hint, self.bits_per_key, seed=seed)
+
+    def insert_many(self, keys: np.ndarray, src_ranks: np.ndarray | int) -> None:
+        keys, ranks = self._check_insert(keys, src_ranks)
+        self._filter.add_many(hash_pair(keys, ranks))
+        self._nkeys += keys.size
+
+    def candidate_ranks(self, key: int) -> np.ndarray:
+        ranks = np.arange(self.nparts, dtype=np.uint64)
+        keys = np.full(self.nparts, key, dtype=np.uint64)
+        hits = self._filter.contains_many(hash_pair(keys, ranks))
+        return np.nonzero(hits)[0].astype(np.int64)
+
+    def candidate_counts(
+        self, keys: np.ndarray, exhaustive_limit: int = 1 << 16, sample_ranks: int = 4096
+    ) -> np.ndarray:
+        """Amplification per key.
+
+        For up to ``exhaustive_limit`` partitions every rank is tested
+        (exactly the paper's Fig. 4 procedure).  Beyond that, testing
+        N ranks per key is infeasible, so the false-positive tail is
+        *estimated* from a random sample of non-true ranks and scaled —
+        unbiased, and documented in EXPERIMENTS.md.
+        """
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        if self.nparts <= exhaustive_limit:
+            counts = np.zeros(keys.size, dtype=np.int64)
+            chunk = max(1, (1 << 22) // max(1, keys.size))
+            for start in range(0, self.nparts, chunk):
+                ranks = np.arange(start, min(self.nparts, start + chunk), dtype=np.uint64)
+                digests = hash_pair(
+                    np.repeat(keys, ranks.size), np.tile(ranks, keys.size)
+                ).reshape(keys.size, ranks.size)
+                counts += self._filter.contains_many(digests.ravel()).reshape(
+                    keys.size, ranks.size
+                ).sum(axis=1)
+            return counts
+        rng = np.random.default_rng(0xA137)
+        sample = rng.integers(0, self.nparts, size=sample_ranks, dtype=np.uint64)
+        digests = hash_pair(np.repeat(keys, sample.size), np.tile(sample, keys.size))
+        hit_rate = (
+            self._filter.contains_many(digests).reshape(keys.size, sample.size).mean(axis=1)
+        )
+        # ~1 true mapping plus fpr-scaled false candidates.
+        return np.rint(1.0 + hit_rate * (self.nparts - 1)).astype(np.int64)
+
+    def to_bytes(self) -> bytes:
+        return self._filter.to_bytes()
+
+    @property
+    def size_bytes(self) -> int:
+        return self._filter.size_bytes
+
+
+class CuckooAuxTable(AuxTable):
+    """Filter–index hybrid on partial-key cuckoo hash tables (§IV-B)."""
+
+    def __init__(
+        self,
+        nparts: int,
+        capacity_hint: int | None = None,
+        fp_bits: int = 4,
+        seed: int = 0,
+        slots_per_bucket: int = 4,
+    ):
+        super().__init__(nparts)
+        self.fp_bits = fp_bits
+        self._table = ChainedCuckooTable(
+            fp_bits=fp_bits,
+            value_bits=rank_bits(nparts),
+            slots_per_bucket=slots_per_bucket,
+            seed=seed,
+            capacity_hint=capacity_hint,
+        )
+
+    def insert_many(self, keys: np.ndarray, src_ranks: np.ndarray | int) -> None:
+        keys, ranks = self._check_insert(keys, src_ranks)
+        self._table.insert_many(keys, ranks.astype(np.uint32))
+        self._nkeys += keys.size
+
+    def candidate_ranks(self, key: int) -> np.ndarray:
+        return self._table.candidate_values(int(key)).astype(np.int64)
+
+    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+        return self._table.candidate_counts(keys)
+
+    def to_bytes(self) -> bytes:
+        parts: list[bytes] = []
+        width = self.fp_bits + self._table.value_bits
+        for t in self._table.tables:
+            fps, vals = t.to_arrays()
+            slots = (fps.astype(np.uint64) << np.uint64(self._table.value_bits)) | vals.astype(
+                np.uint64
+            )
+            parts.append(_pack_bits(slots.ravel(), width))
+        return b"".join(parts)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._table.size_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self._table.stats.utilization
+
+
+class QuotientAuxTable(AuxTable):
+    """Quotient-filter aux table probed per rank (related work, §VI)."""
+
+    def __init__(self, nparts: int, capacity_hint: int, rbits: int | None = None, seed: int = 0):
+        super().__init__(nparts)
+        if capacity_hint <= 0:
+            raise ValueError("capacity_hint must be positive")
+        qbits = max(4, math.ceil(math.log2(capacity_hint / 0.75)))
+        self.rbits = rbits if rbits is not None else max(4, rank_bits(nparts))
+        self._filter = QuotientFilter(qbits=qbits, rbits=self.rbits, seed=seed)
+
+    def insert_many(self, keys: np.ndarray, src_ranks: np.ndarray | int) -> None:
+        keys, ranks = self._check_insert(keys, src_ranks)
+        digests = hash_pair(keys, ranks)
+        for d in digests:
+            self._filter.add(int(d))
+        self._nkeys += keys.size
+
+    def candidate_ranks(self, key: int) -> np.ndarray:
+        ranks = np.arange(self.nparts, dtype=np.uint64)
+        digests = hash_pair(np.full(self.nparts, key, dtype=np.uint64), ranks)
+        hits = self._filter.contains_many(digests)
+        return np.nonzero(hits)[0].astype(np.int64)
+
+    def to_bytes(self) -> bytes:
+        meta = (
+            self._filter._occ.astype(np.uint64)
+            | (self._filter._cont.astype(np.uint64) << np.uint64(1))
+            | (self._filter._shift.astype(np.uint64) << np.uint64(2))
+        )
+        slots = (self._filter._rem.astype(np.uint64) << np.uint64(3)) | meta
+        return _pack_bits(slots, self.rbits + 3)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._filter.size_bytes
+
+
+class XorAuxTable(AuxTable):
+    """Static xor-filter aux table (extension beyond the paper).
+
+    An in-situ epoch's key→rank mappings are immutable once the burst
+    ends, which is exactly the regime xor filters excel at: ~1.23·fp_bits
+    bits per mapping with fpr ``2^-fp_bits``.  Mappings are buffered during
+    the shuffle and the filter is built lazily at the first query (or an
+    explicit `finalize()`); like the Bloom design, a query exhaustively
+    probes every candidate rank.
+    """
+
+    def __init__(self, nparts: int, fp_bits: int = 8, seed: int = 0):
+        super().__init__(nparts)
+        self.fp_bits = fp_bits
+        self.seed = seed
+        self._pending: list[np.ndarray] = []
+        self._filter: XorFilter | None = None
+
+    def insert_many(self, keys: np.ndarray, src_ranks: np.ndarray | int) -> None:
+        if self._filter is not None:
+            raise ValueError("xor aux table already finalized (static filter)")
+        keys, ranks = self._check_insert(keys, src_ranks)
+        self._pending.append(hash_pair(keys, ranks))
+        self._nkeys += keys.size
+
+    def finalize(self) -> None:
+        """Build the static filter from every buffered mapping."""
+        if self._filter is None:
+            if not self._pending:
+                raise ValueError("nothing inserted")
+            digests = np.concatenate(self._pending)
+            self._filter = XorFilter(digests, fp_bits=self.fp_bits, seed=self.seed)
+            self._pending.clear()
+
+    def candidate_ranks(self, key: int) -> np.ndarray:
+        self.finalize()
+        ranks = np.arange(self.nparts, dtype=np.uint64)
+        digests = hash_pair(np.full(self.nparts, key, dtype=np.uint64), ranks)
+        return np.nonzero(self._filter.contains_many(digests))[0].astype(np.int64)
+
+    def to_bytes(self) -> bytes:
+        self.finalize()
+        return self._filter._slots.astype("<u4").tobytes()[: self.size_bytes]
+
+    @property
+    def size_bytes(self) -> int:
+        self.finalize()
+        return self._filter.size_bytes
+
+
+def make_aux_table(
+    backend: str, nparts: int, capacity_hint: int | None = None, seed: int = 0, **kwargs
+) -> AuxTable:
+    """Factory: exact | bloom | cuckoo | quotient | xor."""
+    if backend == "exact":
+        return ExactAuxTable(nparts)
+    if backend == "bloom":
+        return BloomAuxTable(nparts, capacity_hint or 1024, seed=seed, **kwargs)
+    if backend == "cuckoo":
+        return CuckooAuxTable(nparts, capacity_hint, seed=seed, **kwargs)
+    if backend == "quotient":
+        return QuotientAuxTable(nparts, capacity_hint or 1024, seed=seed, **kwargs)
+    if backend == "xor":
+        return XorAuxTable(nparts, seed=seed, **kwargs)
+    raise ValueError(f"unknown aux-table backend {backend!r}")

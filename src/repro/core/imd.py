@@ -1,0 +1,120 @@
+"""Indexed massive directory: the DeltaFS-style application facade.
+
+The paper's system is packaged as *DeltaFS Indexed Massive Directories*:
+an application process simply appends ``(key, value)`` records to what
+looks like a directory; epochs delimit dumps; readers ask for a key's
+value at an epoch.  All the machinery in this repository — partitioning
+format, shuffle, aux tables, SSTables — hides behind that call surface.
+
+`IndexedDirectory` provides exactly that API over `MultiEpochStore`,
+buffering appends per rank (values must share one width per directory, as
+in the paper's fixed-size particle records) and cutting an epoch on
+`end_epoch()`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.blockio import DeviceProfile
+from .formats import FMT_FILTERKV, FormatSpec
+from .kv import KVBatch
+from .multiepoch import MultiEpochStore
+from .reader import QueryStats
+
+__all__ = ["IndexedDirectory"]
+
+
+class IndexedDirectory:
+    """Append-only KV directory with in-situ partitioning and epochs."""
+
+    def __init__(
+        self,
+        nranks: int,
+        value_bytes: int,
+        fmt: FormatSpec = FMT_FILTERKV,
+        device_profile: DeviceProfile | None = None,
+        seed: int = 0,
+    ):
+        if value_bytes < 0:
+            raise ValueError("value_bytes must be non-negative")
+        self.nranks = nranks
+        self.value_bytes = value_bytes
+        self._store = MultiEpochStore(
+            nranks=nranks,
+            fmt=fmt,
+            value_bytes=value_bytes,
+            device_profile=device_profile,
+            seed=seed,
+        )
+        self._pending_keys: list[list[int]] = [[] for _ in range(nranks)]
+        self._pending_values: list[list[bytes]] = [[] for _ in range(nranks)]
+        self._appends = 0
+
+    # -- write surface -------------------------------------------------------
+
+    def append(self, rank: int, key: int, value: bytes) -> None:
+        """Buffer one record written by ``rank`` in the current epoch."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        value = bytes(value)
+        if len(value) != self.value_bytes:
+            raise ValueError(
+                f"directory records are {self.value_bytes} B values; got {len(value)}"
+            )
+        self._pending_keys[rank].append(int(key))
+        self._pending_values[rank].append(value)
+        self._appends += 1
+
+    def append_batch(self, rank: int, batch: KVBatch) -> None:
+        """Buffer a whole batch from one rank (the fast path)."""
+        if batch.value_bytes != self.value_bytes:
+            raise ValueError("batch value width mismatch")
+        self._pending_keys[rank].extend(int(k) for k in batch.keys)
+        self._pending_values[rank].extend(
+            batch.values[i].tobytes() for i in range(len(batch))
+        )
+        self._appends += len(batch)
+
+    @property
+    def pending_records(self) -> int:
+        return sum(len(k) for k in self._pending_keys)
+
+    def end_epoch(self):
+        """Cut the epoch: partition, shuffle, and persist everything
+        buffered since the last cut.  Returns the epoch's ClusterStats."""
+        if self.pending_records == 0:
+            raise ValueError("nothing appended this epoch")
+        batches = []
+        for rank in range(self.nranks):
+            keys = np.asarray(self._pending_keys[rank], dtype=np.uint64)
+            if keys.size:
+                vals = np.frombuffer(
+                    b"".join(self._pending_values[rank]), dtype=np.uint8
+                ).reshape(keys.size, self.value_bytes)
+            else:
+                vals = np.zeros((0, self.value_bytes), dtype=np.uint8)
+            batches.append(KVBatch(keys, vals))
+            self._pending_keys[rank] = []
+            self._pending_values[rank] = []
+        return self._store.write_epoch(batches)
+
+    # -- read surface ----------------------------------------------------------
+
+    @property
+    def epochs(self) -> list[int]:
+        return self._store.epochs
+
+    def read(self, key: int, epoch: int) -> tuple[bytes | None, QueryStats]:
+        """Value of ``key`` at one epoch."""
+        return self._store.get(key, epoch)
+
+    def read_all_epochs(self, key: int) -> list[tuple[int, bytes | None, QueryStats]]:
+        return self._store.trajectory(key)
+
+    def describe(self) -> str:
+        return self._store.describe()
+
+    @property
+    def device(self):
+        return self._store.device

@@ -1,0 +1,136 @@
+"""Multi-epoch datasets: the full in-situ simulation workflow.
+
+The paper's macrobenchmark dumps particle state every few timesteps;
+scientists then ask for one particle's state *at individual timesteps*
+(§V-B).  `MultiEpochStore` runs one `SimCluster` epoch per dump against a
+shared storage device, maintains the dataset `Manifest`, and serves both
+single-epoch point queries and cross-epoch trajectory queries.
+
+Example::
+
+    store = MultiEpochStore(nranks=8, fmt=FMT_FILTERKV, value_bytes=56)
+    for _ in range(4):
+        sim.step(5)
+        store.write_epoch(sim.dump())
+    trajectory = store.trajectory(particle_id)   # [(epoch, value, stats)]
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..storage.blockio import DeviceProfile, StorageDevice
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..cluster.simcluster import ClusterStats
+from ..storage.manifest import EpochInfo, Manifest
+from .formats import FMT_FILTERKV, FormatSpec
+from .kv import KVBatch
+from .pipeline import aux_table_name, main_table_name
+from .reader import QueryEngine, QueryStats
+
+__all__ = ["MultiEpochStore"]
+
+
+class MultiEpochStore:
+    """A persisted dataset spanning many dump epochs."""
+
+    def __init__(
+        self,
+        nranks: int,
+        fmt: FormatSpec = FMT_FILTERKV,
+        value_bytes: int = 56,
+        device_profile: DeviceProfile | None = None,
+        batch_bytes: int = 16384,
+        block_size: int = 1 << 20,
+        seed: int = 0,
+    ):
+        self.nranks = nranks
+        self.fmt = fmt
+        self.value_bytes = value_bytes
+        self.batch_bytes = batch_bytes
+        self.block_size = block_size
+        self.seed = seed
+        self.device = StorageDevice(device_profile)
+        self.manifest = Manifest(fmt=fmt.name, nranks=nranks, value_bytes=value_bytes)
+        self._engines: dict[int, QueryEngine] = {}
+        self._next_epoch = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def write_epoch(self, batches: list[KVBatch]) -> "ClusterStats":
+        """Partition and persist one dump (one KVBatch per rank)."""
+        from ..cluster.simcluster import SimCluster  # local: avoid cycle
+
+        if len(batches) != self.nranks:
+            raise ValueError(f"need {self.nranks} batches, got {len(batches)}")
+        epoch = self._next_epoch
+        records = sum(len(b) for b in batches)
+        cluster = SimCluster(
+            nranks=self.nranks,
+            fmt=self.fmt,
+            value_bytes=self.value_bytes,
+            batch_bytes=self.batch_bytes,
+            device=self.device,
+            records_hint=max(1, records),
+            block_size=self.block_size,
+            epoch=epoch,
+            seed=self.seed + epoch,
+        )
+        before = self.device.total_bytes_stored()
+        for rank, batch in enumerate(batches):
+            cluster.put(rank, batch)
+        cluster.finish_epoch()
+        self._engines[epoch] = cluster.query_engine()
+        files = tuple(
+            n
+            for n in self.device.list_files()
+            if n.startswith((f"part.{epoch:03d}.", f"aux.{epoch:03d}.")) or n.startswith("vlog.")
+        )
+        self.manifest.add_epoch(
+            EpochInfo(
+                epoch=epoch,
+                records=records,
+                files=files,
+                bytes=self.device.total_bytes_stored() - before,
+            )
+        )
+        self.manifest.save(self.device)
+        self._next_epoch += 1
+        return cluster.stats
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def epochs(self) -> list[int]:
+        return self.manifest.epoch_ids
+
+    def engine(self, epoch: int) -> QueryEngine:
+        if epoch not in self._engines:
+            raise KeyError(f"no such epoch {epoch} (have {self.epochs})")
+        return self._engines[epoch]
+
+    def get(self, key: int, epoch: int) -> tuple[bytes | None, QueryStats]:
+        """Point query at one timestep (the paper's Fig. 11 query)."""
+        return self.engine(epoch).get(key)
+
+    def trajectory(self, key: int) -> list[tuple[int, bytes | None, QueryStats]]:
+        """The key's value at every epoch — a particle's trajectory."""
+        return [(e, *self.get(key, e)) for e in self.epochs]
+
+    # -- inventory ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable dataset summary from the manifest."""
+        lines = [
+            f"dataset: fmt={self.manifest.fmt} ranks={self.manifest.nranks} "
+            f"value_bytes={self.manifest.value_bytes}",
+            f"epochs: {len(self.manifest.epochs)}, records: {self.manifest.total_records:,}, "
+            f"bytes: {self.device.total_bytes_stored():,}",
+        ]
+        for e in self.manifest.epochs:
+            lines.append(
+                f"  epoch {e.epoch}: {e.records:,} records, "
+                f"{len(e.files)} files, {e.bytes:,} B"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""The executing write pipeline: what each rank actually does per record.
+
+`WriterState` implements the producer side of Fig. 3 for all three formats
+— local writes, payload encoding, destination batching — and `ReceiverState`
+the partition-owner side — decoding, partition tables, aux-table builds.
+`repro.cluster.simcluster.SimCluster` wires one of each per rank over an
+in-memory transport with exact message/byte accounting.
+
+Payload wire formats (little-endian, fixed-width; the sender's rank rides
+in the batch envelope):
+
+* base:      ``key u64 ‖ value[value_bytes]`` per record
+* dataptr:   ``key u64 ‖ offset u64``         per record
+* filterkv:  ``key u64``                      per record
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..storage.blockio import StorageDevice
+from ..storage.log import DataPointer, ValueLog
+from ..storage.memtable import MemTable, RunWriter, flatten_runs
+from ..storage.sstable import SSTableWriter, TableStats
+from .auxtable import AuxTable, make_aux_table
+from .formats import FormatSpec
+from .kv import KEY_BYTES, KVBatch
+from .partitioning import HashPartitioner
+
+__all__ = ["Envelope", "WriterState", "ReceiverState", "main_table_name", "aux_table_name"]
+
+SendFn = Callable[["Envelope"], None]
+
+
+def main_table_name(epoch: int, rank: int) -> str:
+    """Partition / main-table extent name for one rank and epoch."""
+    return f"part.{epoch:03d}.{rank:06d}"
+
+
+def aux_table_name(epoch: int, rank: int) -> str:
+    return f"aux.{epoch:03d}.{rank:06d}"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One RPC batch on the (simulated) wire."""
+
+    src: int
+    dest: int
+    payload: bytes
+    nrecords: int
+
+
+class WriterState:
+    """Producer-side pipeline for one rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        fmt: FormatSpec,
+        partitioner: HashPartitioner,
+        device: StorageDevice,
+        value_bytes: int,
+        send: SendFn,
+        batch_bytes: int = 16384,
+        epoch: int = 0,
+        block_size: int = 1 << 20,
+        spill_budget_bytes: int | None = None,
+    ):
+        self.rank = rank
+        self.fmt = fmt
+        self.partitioner = partitioner
+        self.device = device
+        self.value_bytes = value_bytes
+        self.send = send
+        self.batch_bytes = batch_bytes
+        self.epoch = epoch
+        self._buffers: dict[int, bytearray] = {}
+        self._buffer_counts: dict[int, int] = {}
+        self.records_written = 0
+        self._vlog: ValueLog | None = None
+        self._main: SSTableWriter | None = None
+        self._memtable: MemTable | None = None
+        self._runs: RunWriter | None = None
+        if fmt.name == "dataptr":
+            self._vlog = ValueLog(device, rank)
+        elif fmt.name == "filterkv":
+            self._main = SSTableWriter(
+                device, main_table_name(epoch, rank), block_size=block_size
+            )
+            if spill_budget_bytes is not None:
+                # The paper's driver buffers at most 16 MB before writing
+                # (§V-A): bound memory with a memtable that spills sorted
+                # runs, merged into the final table at epoch end.
+                self._memtable = MemTable(spill_budget_bytes)
+                self._runs = RunWriter(device, f"runs.{epoch:03d}.{rank:06d}")
+
+    # -- producing --------------------------------------------------------
+
+    def put_batch(self, batch: KVBatch) -> None:
+        """Process one batch of generated KV pairs."""
+        if batch.value_bytes != self.value_bytes:
+            raise ValueError(
+                f"batch value width {batch.value_bytes} != pipeline width {self.value_bytes}"
+            )
+        offsets = None
+        if self.fmt.name == "dataptr":
+            offsets = np.empty(len(batch), dtype=np.uint64)
+            for i in range(len(batch)):
+                offsets[i] = self._vlog.append(batch.value_of(i)).offset
+        elif self.fmt.name == "filterkv":
+            if self._memtable is not None:
+                for i in range(len(batch)):
+                    if not self._memtable.add(int(batch.keys[i]), batch.value_of(i)):
+                        self._runs.spill(self._memtable)
+            else:
+                for i in range(len(batch)):
+                    self._main.add(int(batch.keys[i]), batch.value_of(i))
+        for dest, idx in enumerate(self.partitioner.split(batch.keys)):
+            if idx.size == 0:
+                continue
+            payload = self._encode(batch, idx, offsets)
+            self._append_to_buffer(dest, payload, idx.size)
+        self.records_written += len(batch)
+
+    def _encode(self, batch: KVBatch, idx: np.ndarray, offsets: np.ndarray | None) -> bytes:
+        keys_le = batch.keys[idx].astype("<u8")
+        if self.fmt.name == "base":
+            out = np.zeros((idx.size, KEY_BYTES + self.value_bytes), dtype=np.uint8)
+            out[:, :KEY_BYTES] = keys_le.view(np.uint8).reshape(-1, KEY_BYTES)
+            out[:, KEY_BYTES:] = batch.values[idx]
+            return out.tobytes()
+        if self.fmt.name == "dataptr":
+            out = np.zeros((idx.size, KEY_BYTES + 8), dtype=np.uint8)
+            out[:, :KEY_BYTES] = keys_le.view(np.uint8).reshape(-1, KEY_BYTES)
+            out[:, KEY_BYTES:] = offsets[idx].astype("<u8").view(np.uint8).reshape(-1, 8)
+            return out.tobytes()
+        return keys_le.tobytes()
+
+    def _append_to_buffer(self, dest: int, payload: bytes, nrecords: int) -> None:
+        buf = self._buffers.setdefault(dest, bytearray())
+        buf += payload
+        self._buffer_counts[dest] = self._buffer_counts.get(dest, 0) + nrecords
+        record_bytes = len(payload) // nrecords
+        while len(buf) >= self.batch_bytes:
+            # Ship whole records only: trim the cut to a record boundary.
+            cut = (self.batch_bytes // record_bytes) * record_bytes
+            self._ship(dest, bytes(buf[:cut]), cut // record_bytes)
+            del buf[:cut]
+            self._buffer_counts[dest] -= cut // record_bytes
+
+    def _ship(self, dest: int, payload: bytes, nrecords: int) -> None:
+        if nrecords:
+            self.send(Envelope(self.rank, dest, payload, nrecords))
+
+    def flush(self) -> None:
+        """Ship every partial batch (end of the I/O burst)."""
+        for dest, buf in self._buffers.items():
+            if buf:
+                self._ship(dest, bytes(buf), self._buffer_counts[dest])
+        self._buffers.clear()
+        self._buffer_counts.clear()
+
+    def finish(self) -> TableStats | None:
+        """Flush and finalize local structures; returns main-table stats."""
+        self.flush()
+        if self._memtable is not None:
+            self._runs.spill(self._memtable)
+            return flatten_runs(self._runs, self._main)
+        if self._main is not None:
+            return self._main.finish()
+        return None
+
+    @property
+    def local_storage_bytes(self) -> int:
+        if self._vlog is not None:
+            return self._vlog.size_bytes
+        if self._main is not None:
+            return self.device.file_size(main_table_name(self.epoch, self.rank))
+        return 0
+
+
+class ReceiverState:
+    """Partition-owner pipeline for one rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        nranks: int,
+        fmt: FormatSpec,
+        device: StorageDevice,
+        value_bytes: int,
+        epoch: int = 0,
+        block_size: int = 1 << 20,
+        capacity_hint: int | None = None,
+        aux_seed: int = 0,
+    ):
+        self.rank = rank
+        self.nranks = nranks
+        self.fmt = fmt
+        self.device = device
+        self.value_bytes = value_bytes
+        self.epoch = epoch
+        self.records_received = 0
+        self.aux: AuxTable | None = None
+        self._table: SSTableWriter | None = None
+        if fmt.name in ("base", "dataptr"):
+            self._table = SSTableWriter(
+                device, main_table_name(epoch, rank), block_size=block_size
+            )
+        else:
+            self.aux = make_aux_table(
+                fmt.aux_backend or "cuckoo",
+                nparts=nranks,
+                capacity_hint=capacity_hint,
+                seed=aux_seed + rank,
+            )
+
+    def deliver(self, env: Envelope) -> None:
+        """Decode one batch into the partition's tables."""
+        if env.dest != self.rank:
+            raise ValueError(f"envelope for rank {env.dest} delivered to {self.rank}")
+        raw = np.frombuffer(env.payload, dtype=np.uint8)
+        if self.fmt.name == "base":
+            rec = KEY_BYTES + self.value_bytes
+            rows = raw.reshape(env.nrecords, rec)
+            keys = rows[:, :KEY_BYTES].copy().view("<u8").ravel()
+            for i in range(env.nrecords):
+                self._table.add(int(keys[i]), rows[i, KEY_BYTES:].tobytes())
+        elif self.fmt.name == "dataptr":
+            rows = raw.reshape(env.nrecords, KEY_BYTES + 8)
+            keys = rows[:, :KEY_BYTES].copy().view("<u8").ravel()
+            offsets = rows[:, KEY_BYTES:].copy().view("<u8").ravel()
+            for i in range(env.nrecords):
+                ptr = DataPointer(env.src, int(offsets[i]))
+                self._table.add(int(keys[i]), ptr.pack())
+        else:
+            keys = raw.reshape(env.nrecords, KEY_BYTES).copy().view("<u8").ravel()
+            self.aux.insert_many(keys.astype(np.uint64), env.src)
+        self.records_received += env.nrecords
+
+    def finish(self) -> TableStats | None:
+        """Persist the partition's table (or aux blob) to storage."""
+        if self._table is not None:
+            return self._table.finish()
+        blob = self.aux.to_bytes()
+        self.device.open(aux_table_name(self.epoch, self.rank), create=True).append(blob)
+        return None

@@ -1,0 +1,42 @@
+"""Compact filter substrate: the data structures behind FilterKV aux tables.
+
+Exports:
+
+* `BloomFilter` — vectorized Bloom filter (paper §IV-A).
+* `PartialKeyCuckooTable` / `ChainedCuckooTable` — partial-key cuckoo hash
+  tables with the paper's chained-growth scheme (§IV-B).
+* `CuckooFilter` — standard membership cuckoo filter (related work, §VI).
+* `QuotientFilter` — quotient filter (related work, §VI).
+* hashing helpers (`splitmix64`, `hash64`, `hash_pair`, `fingerprint`).
+"""
+
+from .blockedbloom import BlockedBloomFilter
+from .bloom import BloomFilter, false_positive_rate, optimal_nhashes
+from .cuckoo import ChainedCuckooTable, CuckooStats, CuckooTableFull, PartialKeyCuckooTable
+from .countingbloom import CountingBloomFilter
+from .cuckoofilter import CuckooFilter
+from .hashing import double_hash_probes, fingerprint, hash64, hash_pair, splitmix64
+from .quotient import QuotientFilter, QuotientFilterFull
+from .xorfilter import XorConstructionError, XorFilter
+
+__all__ = [
+    "BlockedBloomFilter",
+    "BloomFilter",
+    "false_positive_rate",
+    "optimal_nhashes",
+    "ChainedCuckooTable",
+    "CuckooStats",
+    "CuckooTableFull",
+    "PartialKeyCuckooTable",
+    "CountingBloomFilter",
+    "CuckooFilter",
+    "QuotientFilter",
+    "QuotientFilterFull",
+    "XorConstructionError",
+    "XorFilter",
+    "splitmix64",
+    "hash64",
+    "hash_pair",
+    "fingerprint",
+    "double_hash_probes",
+]

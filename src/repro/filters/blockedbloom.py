@@ -1,0 +1,95 @@
+"""Blocked Bloom filter: the cache-conscious Bloom variant.
+
+A standard Bloom filter's k probes touch k random cache lines; a *blocked*
+Bloom filter (Putze, Sanders & Singler) hashes each key to one 512-bit
+block (one cache line) and sets all k bits inside it, trading a slightly
+higher false-positive rate for one memory access per query.  On the
+manycore CPUs the paper targets — where memory stalls cost relatively more
+than arithmetic — this is the variant a production FilterKV would deploy,
+so it ships here as an alternative to `BloomFilter` with the same API.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .bloom import optimal_nhashes
+from .hashing import hash64
+
+__all__ = ["BlockedBloomFilter"]
+
+_BLOCK_BITS = 512
+_BLOCK_WORDS = _BLOCK_BITS // 64
+
+
+class BlockedBloomFilter:
+    """Bloom filter with all probes confined to one 512-bit block per key."""
+
+    def __init__(self, nblocks: int, nhashes: int, seed: int = 0):
+        if nblocks <= 0:
+            raise ValueError(f"nblocks must be positive, got {nblocks}")
+        if nhashes <= 0:
+            raise ValueError(f"nhashes must be positive, got {nhashes}")
+        self.nblocks = int(nblocks)
+        self.nhashes = int(nhashes)
+        self.seed = int(seed)
+        self._words = np.zeros(self.nblocks * _BLOCK_WORDS, dtype=np.uint64)
+        self._count = 0
+
+    @classmethod
+    def from_bits_per_key(
+        cls, nkeys: int, bits_per_key: float, seed: int = 0
+    ) -> "BlockedBloomFilter":
+        if nkeys <= 0 or bits_per_key <= 0:
+            raise ValueError("nkeys and bits_per_key must be positive")
+        nblocks = max(1, math.ceil(nkeys * bits_per_key / _BLOCK_BITS))
+        return cls(nblocks, optimal_nhashes(bits_per_key), seed=seed)
+
+    def _positions(self, digests: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(word index, bit offset) for every probe of every digest."""
+        d = np.asarray(digests, dtype=np.uint64).ravel()
+        block = (hash64(d, self.seed) % np.uint64(self.nblocks)).astype(np.int64)
+        h1 = hash64(d, self.seed + 1)
+        h2 = hash64(d, self.seed + 2) | np.uint64(1)
+        i = np.arange(self.nhashes, dtype=np.uint64)
+        inblock = ((h1[:, None] + i[None, :] * h2[:, None]) % np.uint64(_BLOCK_BITS)).astype(
+            np.int64
+        )
+        words = block[:, None] * _BLOCK_WORDS + inblock // 64
+        return words, (inblock % 64).astype(np.uint64)
+
+    def add_many(self, digests: np.ndarray) -> None:
+        digests = np.asarray(digests, dtype=np.uint64)
+        if digests.size == 0:
+            return
+        words, offsets = self._positions(digests)
+        np.bitwise_or.at(self._words, words.ravel(), np.uint64(1) << offsets.ravel())
+        self._count += digests.size
+
+    def contains_many(self, digests: np.ndarray) -> np.ndarray:
+        digests = np.asarray(digests, dtype=np.uint64)
+        if digests.size == 0:
+            return np.zeros(0, dtype=bool)
+        words, offsets = self._positions(digests)
+        bits = (self._words[words] >> offsets) & np.uint64(1)
+        return bits.all(axis=1)
+
+    def add(self, digest: int) -> None:
+        self.add_many(np.asarray([digest], dtype=np.uint64))
+
+    def __contains__(self, digest: int) -> bool:
+        return bool(self.contains_many(np.asarray([digest], dtype=np.uint64))[0])
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        return self.nblocks * _BLOCK_BITS // 8
+
+    @property
+    def cache_lines_per_query(self) -> int:
+        """The whole point: exactly one."""
+        return 1

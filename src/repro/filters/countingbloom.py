@@ -1,0 +1,102 @@
+"""Counting Bloom filter: Bloom semantics plus deletion.
+
+The paper cites general-purpose counting filters (§VI, Pandey et al.) as
+part of the design space.  A counting Bloom filter replaces each bit with
+a small saturating counter, buying `remove` at 4× the space of a plain
+Bloom filter — relevant to aux tables for workloads that *overwrite* keys
+across epochs rather than freezing each epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .bloom import optimal_nhashes
+from .hashing import double_hash_probes
+
+__all__ = ["CountingBloomFilter"]
+
+_COUNTER_MAX = 255  # uint8 counters; saturate rather than wrap
+
+
+class CountingBloomFilter:
+    """Bloom filter over 64-bit digests with per-slot counters."""
+
+    def __init__(self, nslots: int, nhashes: int, seed: int = 0):
+        if nslots <= 0:
+            raise ValueError(f"nslots must be positive, got {nslots}")
+        if nhashes <= 0:
+            raise ValueError(f"nhashes must be positive, got {nhashes}")
+        self.nslots = int(nslots)
+        self.nhashes = int(nhashes)
+        self.seed = int(seed)
+        self._counts = np.zeros(self.nslots, dtype=np.uint8)
+        self._nkeys = 0
+
+    @classmethod
+    def from_slots_per_key(
+        cls, nkeys: int, slots_per_key: float = 10.0, seed: int = 0
+    ) -> "CountingBloomFilter":
+        if nkeys <= 0 or slots_per_key <= 0:
+            raise ValueError("nkeys and slots_per_key must be positive")
+        return cls(
+            max(64, math.ceil(nkeys * slots_per_key)),
+            optimal_nhashes(slots_per_key),
+            seed=seed,
+        )
+
+    def _probes(self, digests: np.ndarray) -> np.ndarray:
+        return double_hash_probes(
+            np.asarray(digests, dtype=np.uint64).ravel(), self.nhashes, self.nslots, self.seed
+        )
+
+    def add(self, digest: int) -> None:
+        pos = self._probes(np.asarray([digest], dtype=np.uint64))[0]
+        under = self._counts[pos] < _COUNTER_MAX
+        self._counts[pos[under]] += 1
+        self._nkeys += 1
+
+    def add_many(self, digests: np.ndarray) -> None:
+        digests = np.asarray(digests, dtype=np.uint64)
+        if digests.size == 0:
+            return
+        pos = self._probes(digests)
+        # Saturating add: bincount the probe positions, clip into uint8.
+        hits = np.bincount(pos.ravel(), minlength=self.nslots)
+        merged = np.minimum(self._counts.astype(np.int64) + hits, _COUNTER_MAX)
+        self._counts = merged.astype(np.uint8)
+        self._nkeys += digests.size
+
+    def remove(self, digest: int) -> bool:
+        """Delete one prior insertion; False (and no change) if absent."""
+        pos = self._probes(np.asarray([digest], dtype=np.uint64))[0]
+        if not (self._counts[pos] > 0).all():
+            return False
+        unsaturated = self._counts[pos] < _COUNTER_MAX  # saturated slots stay
+        self._counts[pos[unsaturated]] -= 1
+        self._nkeys -= 1
+        return True
+
+    def __contains__(self, digest: int) -> bool:
+        pos = self._probes(np.asarray([digest], dtype=np.uint64))[0]
+        return bool((self._counts[pos] > 0).all())
+
+    def contains_many(self, digests: np.ndarray) -> np.ndarray:
+        digests = np.asarray(digests, dtype=np.uint64)
+        if digests.size == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._probes(digests)
+        return (self._counts[pos] > 0).all(axis=1)
+
+    def __len__(self) -> int:
+        return self._nkeys
+
+    @property
+    def size_bytes(self) -> int:
+        return self.nslots  # one byte per counter
+
+    @property
+    def fill_fraction(self) -> float:
+        return float((self._counts > 0).mean())

@@ -1,0 +1,499 @@
+"""Partial-key cuckoo hash tables (paper §IV-B, Figs. 5–6).
+
+A partial-key cuckoo hash table stores, for every inserted key, a small
+fingerprint (the *partial key*) plus an application value — here the source
+rank of a KV pair.  Each key maps to two candidate buckets; the alternate
+bucket is computable from the fingerprint alone (``b2 = b1 ^ h(fp)``), which
+is what makes relocation possible without retaining full keys.
+
+Two classes:
+
+`PartialKeyCuckooTable`
+    A single fixed-size table.  Insertion uses a *non-destructive* eviction
+    path search: a random walk over candidate relocations is simulated
+    first, and the table is only mutated once a complete path to an empty
+    slot is known.  A failed insert therefore leaves the table untouched and
+    raises `CuckooTableFull` — the property the chained-growth scheme relies
+    on.
+
+`ChainedCuckooTable`
+    The paper's growth scheme: rather than doubling (which either wastes
+    half the slots or requires retaining every key for a rehash), a full
+    table is *frozen* and a smaller overflow table is chained in front of it
+    (e.g. a 1 M-slot table plus a 128 K-slot table holding 1.1 M keys at
+    ~95 % combined utilization).
+
+Bulk insertion and lookup are vectorized with NumPy; only the eviction tail
+(the few percent of keys whose both buckets are full) takes the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hashing import fingerprint, hash64
+
+__all__ = [
+    "CuckooTableFull",
+    "PartialKeyCuckooTable",
+    "ChainedCuckooTable",
+    "CuckooStats",
+]
+
+_EMPTY = np.uint32(0)  # fingerprint 0 marks an empty slot
+_PER_TABLE_HEADER_BYTES = 32  # footer/metadata charged per physical table
+
+
+class CuckooTableFull(Exception):
+    """Raised when no eviction path to an empty slot exists for an insert."""
+
+
+@dataclass(frozen=True)
+class CuckooStats:
+    """Occupancy and space accounting for a (chained) cuckoo table."""
+
+    nkeys: int
+    nslots: int
+    ntables: int
+    size_bytes: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of allocated slots actually holding an entry."""
+        return self.nkeys / self.nslots if self.nslots else 0.0
+
+    @property
+    def bytes_per_key(self) -> float:
+        return self.size_bytes / self.nkeys if self.nkeys else 0.0
+
+
+def _round_pow2(n: int) -> int:
+    """Smallest power of two >= n (and >= 1)."""
+    return 1 << max(0, math.ceil(math.log2(max(1, n))))
+
+
+class PartialKeyCuckooTable:
+    """A single fixed-size partial-key cuckoo hash table.
+
+    Parameters
+    ----------
+    nbuckets:
+        Number of buckets; rounded up to a power of two.
+    fp_bits:
+        Fingerprint width in bits (the paper uses 4).
+    value_bits:
+        Width of the stored value (``log2(N)`` for N data partitions).
+        ``0`` is allowed, degrading the table to a plain cuckoo *filter*.
+    slots_per_bucket:
+        Bucket associativity (the paper and Fan et al. use 4).
+    max_kicks:
+        Bound on the relocation walk before declaring the table full
+        (the paper quotes 500).
+    """
+
+    def __init__(
+        self,
+        nbuckets: int,
+        fp_bits: int = 4,
+        value_bits: int = 16,
+        slots_per_bucket: int = 4,
+        max_kicks: int = 500,
+        seed: int = 0,
+    ):
+        if not 1 <= fp_bits <= 32:
+            raise ValueError(f"fp_bits must be in [1, 32], got {fp_bits}")
+        if not 0 <= value_bits <= 32:
+            raise ValueError(f"value_bits must be in [0, 32], got {value_bits}")
+        if slots_per_bucket < 1:
+            raise ValueError("slots_per_bucket must be >= 1")
+        self.nbuckets = _round_pow2(nbuckets)
+        self.fp_bits = int(fp_bits)
+        self.value_bits = int(value_bits)
+        self.slots_per_bucket = int(slots_per_bucket)
+        self.max_kicks = int(max_kicks)
+        self.seed = int(seed)
+        self._mask = np.uint64(self.nbuckets - 1)
+        self._fps = np.zeros((self.nbuckets, self.slots_per_bucket), dtype=np.uint32)
+        self._vals = np.zeros((self.nbuckets, self.slots_per_bucket), dtype=np.uint32)
+        self._occ = np.zeros(self.nbuckets, dtype=np.int64)
+        self._nkeys = 0
+        self._rng = np.random.default_rng(seed ^ 0xC0C0)
+        # Alternate-bucket displacement per fingerprint value, precomputed so
+        # the eviction walk runs on plain Python ints (fingerprints are only
+        # fp_bits wide, so the table is small).
+        if self.fp_bits <= 20:
+            fp_values = np.arange(1 << self.fp_bits, dtype=np.uint64)
+            self._alt_lut = (hash64(fp_values, self.seed + 0xA17) & self._mask).astype(np.int64)
+        else:
+            self._alt_lut = None
+
+    # -- addressing -------------------------------------------------------
+
+    def _fingerprints(self, keys: np.ndarray) -> np.ndarray:
+        return fingerprint(keys, self.fp_bits, seed=self.seed + 0x5BD1).astype(np.uint32)
+
+    def _primary_buckets(self, keys: np.ndarray) -> np.ndarray:
+        return (hash64(keys, self.seed) & self._mask).astype(np.int64)
+
+    def _alt_buckets(self, buckets: np.ndarray, fps: np.ndarray) -> np.ndarray:
+        """Alternate bucket, computable from (bucket, fingerprint) alone."""
+        if self._alt_lut is not None:
+            return np.asarray(buckets, dtype=np.int64) ^ self._alt_lut[np.asarray(fps)]
+        h = hash64(np.asarray(fps, dtype=np.uint64), self.seed + 0xA17) & self._mask
+        return (np.asarray(buckets, dtype=np.uint64) ^ h).astype(np.int64)
+
+    def _alt_bucket_scalar(self, bucket: int, fp: int) -> int:
+        if self._alt_lut is not None:
+            return bucket ^ int(self._alt_lut[fp])
+        h = hash64(np.uint64(fp), self.seed + 0xA17) & self._mask
+        return bucket ^ int(h)
+
+    # -- insertion --------------------------------------------------------
+
+    def insert(self, key: int, value: int = 0) -> None:
+        """Insert one key→value mapping; raises `CuckooTableFull` on failure."""
+        keys = np.asarray([key], dtype=np.uint64)
+        fp = int(self._fingerprints(keys)[0])
+        b1 = int(self._primary_buckets(keys)[0])
+        self._insert_fp(fp, int(value), b1)
+
+    def _insert_fp(self, fp: int, value: int, b1: int) -> None:
+        b2 = self._alt_bucket_scalar(b1, fp)
+        for b in (b1, b2):
+            if self._occ[b] < self.slots_per_bucket:
+                self._place(b, fp, value)
+                return
+        self._insert_with_eviction(fp, value, b1, b2)
+
+    def _place(self, bucket: int, fp: int, value: int) -> None:
+        slot = int(self._occ[bucket])
+        self._fps[bucket, slot] = fp
+        self._vals[bucket, slot] = value
+        self._occ[bucket] += 1
+        self._nkeys += 1
+
+    def _insert_with_eviction(self, fp: int, value: int, b1: int, b2: int) -> None:
+        """Random-walk eviction, simulated first and applied only on success.
+
+        The walk records its displacements in an overlay dict instead of
+        mutating the table, so (a) a failed insert leaves the table
+        byte-identical to its pre-insert state, and (b) revisits of the same
+        slot during the walk observe the simulated — i.e. eventual — contents
+        rather than stale ones.
+        """
+        start = b1 if self._rng.integers(2) == 0 else b2
+        writes: dict[tuple[int, int], tuple[int, int]] = {}
+        cur_fp, cur_val = int(fp), int(value)
+        bucket = start
+        slot_choices = self._rng.integers(self.slots_per_bucket, size=self.max_kicks)
+        for slot in slot_choices:
+            slot = int(slot)
+            victim = writes.get(
+                (bucket, slot), (int(self._fps[bucket, slot]), int(self._vals[bucket, slot]))
+            )
+            writes[(bucket, slot)] = (cur_fp, cur_val)
+            cur_fp, cur_val = victim
+            bucket = self._alt_bucket_scalar(bucket, cur_fp)
+            if self._occ[bucket] < self.slots_per_bucket:
+                for (wb, ws), (wfp, wval) in writes.items():
+                    self._fps[wb, ws] = wfp
+                    self._vals[wb, ws] = wval
+                self._place(bucket, cur_fp, cur_val)
+                return
+        raise CuckooTableFull(
+            f"no eviction path within {self.max_kicks} kicks "
+            f"(load {self._nkeys}/{self.capacity_slots})"
+        )
+
+    def insert_many(self, keys: np.ndarray, values: np.ndarray | int = 0) -> np.ndarray:
+        """Bulk insert; returns a boolean mask of keys that fit.
+
+        Keys whose buckets have free slots are placed with vectorized
+        scatter (resolving intra-batch collisions by bucket-sorting); the
+        remainder falls back to the scalar eviction path.  The table is
+        left valid regardless of how many keys fit.
+        """
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        n = keys.size
+        vals = np.broadcast_to(np.asarray(values, dtype=np.uint32), (n,)).copy()
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        fps = self._fingerprints(keys)
+        b1 = self._primary_buckets(keys)
+        b2 = self._alt_buckets(b1, fps)
+        inserted = np.zeros(n, dtype=bool)
+
+        pending = np.arange(n)
+        for attempt_buckets in (b1, b2, b1):  # two direct rounds + one retry
+            if pending.size == 0:
+                break
+            placed = self._bulk_place(attempt_buckets[pending], fps[pending], vals[pending])
+            inserted[pending[placed]] = True
+            pending = pending[~placed]
+
+        # Scalar eviction tail.  The first failed eviction walk is strong
+        # evidence the table is saturated; later items would almost all burn
+        # max_kicks too, so we stop and leave them for the caller (the
+        # chained scheme opens an overflow table for exactly this case).
+        for i in pending:
+            try:
+                self._insert_fp(int(fps[i]), int(vals[i]), int(b1[i]))
+                inserted[i] = True
+            except CuckooTableFull:
+                break
+        return inserted
+
+    def _bulk_place(self, buckets: np.ndarray, fps: np.ndarray, vals: np.ndarray) -> np.ndarray:
+        """Vectorized placement into ``buckets`` where free slots exist."""
+        n = buckets.size
+        order = np.argsort(buckets, kind="stable")
+        bs = buckets[order]
+        idx = np.arange(n)
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = bs[1:] != bs[:-1]
+        group_start = np.maximum.accumulate(np.where(new_group, idx, 0))
+        seq = idx - group_start
+        slots = self._occ[bs] + seq
+        ok = slots < self.slots_per_bucket
+        self._fps[bs[ok], slots[ok]] = fps[order][ok]
+        self._vals[bs[ok], slots[ok]] = vals[order][ok]
+        np.add.at(self._occ, bs[ok], 1)
+        self._nkeys += int(ok.sum())
+        placed = np.zeros(n, dtype=bool)
+        placed[order[ok]] = True
+        return placed
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate values for each key.
+
+        Returns ``(vals, match)`` where both have shape
+        ``(nkeys, 2 * slots_per_bucket)``; ``match[i, j]`` is True where the
+        slot's fingerprint equals key *i*'s fingerprint.  Because multiple
+        keys can share a fingerprint, matches beyond the true entry are the
+        false positives the paper trades space for.
+        """
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        fps = self._fingerprints(keys)
+        b1 = self._primary_buckets(keys)
+        b2 = self._alt_buckets(b1, fps)
+        slot_fps = np.concatenate([self._fps[b1], self._fps[b2]], axis=1)
+        slot_vals = np.concatenate([self._vals[b1], self._vals[b2]], axis=1)
+        match = (slot_fps == fps[:, None]) & (slot_fps != _EMPTY)
+        return slot_vals, match
+
+    def candidate_values(self, key: int) -> np.ndarray:
+        """Sorted distinct candidate values for one key."""
+        vals, match = self.lookup_many(np.asarray([key], dtype=np.uint64))
+        return np.unique(vals[0][match[0]])
+
+    def contains(self, key: int) -> bool:
+        """Membership test (any slot with a matching fingerprint)."""
+        _, match = self.lookup_many(np.asarray([key], dtype=np.uint64))
+        return bool(match.any())
+
+    def delete(self, key: int) -> bool:
+        """Remove one entry matching the key's fingerprint, if present."""
+        keys = np.asarray([key], dtype=np.uint64)
+        fp = self._fingerprints(keys)[0]
+        b1 = int(self._primary_buckets(keys)[0])
+        b2 = int(self._alt_buckets(np.asarray([b1]), np.asarray([fp]))[0])
+        for b in dict.fromkeys((b1, b2)):
+            row = self._fps[b]
+            hits = np.nonzero(row == fp)[0]
+            if hits.size:
+                slot = int(hits[0])
+                last = int(self._occ[b]) - 1
+                self._fps[b, slot] = self._fps[b, last]
+                self._vals[b, slot] = self._vals[b, last]
+                self._fps[b, last] = _EMPTY
+                self._vals[b, last] = 0
+                self._occ[b] = last
+                self._nkeys -= 1
+                return True
+        return False
+
+    # -- accounting -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._nkeys
+
+    @property
+    def capacity_slots(self) -> int:
+        return self.nbuckets * self.slots_per_bucket
+
+    @property
+    def load_factor(self) -> float:
+        return self._nkeys / self.capacity_slots
+
+    @property
+    def size_bytes(self) -> int:
+        """On-storage size: packed (fp_bits + value_bits) per slot + header."""
+        bits = self.capacity_slots * (self.fp_bits + self.value_bits)
+        return math.ceil(bits / 8) + _PER_TABLE_HEADER_BYTES
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dense (fps, vals) views for serialization layers."""
+        return self._fps, self._vals
+
+
+class ChainedCuckooTable:
+    """The paper's chained-growth scheme over `PartialKeyCuckooTable`.
+
+    Parameters
+    ----------
+    fp_bits, value_bits, slots_per_bucket, max_kicks, seed:
+        Forwarded to every physical table.
+    capacity_hint:
+        Expected number of keys.  When given, the first table is sized to
+        the largest power-of-two slot count not exceeding the hint; each
+        overflow table is then sized from the keys that actually remain —
+        the 1 M + 128 K construction from §IV-B (1.1 M keys → a 2^20-slot
+        table plus a 2^17-slot overflow), reaching ~95 % combined
+        utilization.  Without a hint, the first table starts at
+        ``min_buckets`` and each overflow table is sized from the keys
+        inserted so far (doubling-flavored growth, lower utilization).
+    load_target:
+        Assumed achievable per-table load factor when sizing overflow
+        tables (random-walk insertion fills 4-way buckets to ~0.98, so 0.95
+        is conservative and reproduces the paper's sizing example exactly).
+    """
+
+    def __init__(
+        self,
+        fp_bits: int = 4,
+        value_bits: int = 16,
+        slots_per_bucket: int = 4,
+        max_kicks: int = 500,
+        seed: int = 0,
+        capacity_hint: int | None = None,
+        load_target: float = 0.95,
+        min_buckets: int = 16,
+    ):
+        if capacity_hint is not None and capacity_hint <= 0:
+            raise ValueError("capacity_hint must be positive when given")
+        if not 0.1 <= load_target <= 1.0:
+            raise ValueError("load_target must be in [0.1, 1.0]")
+        self.fp_bits = fp_bits
+        self.value_bits = value_bits
+        self.slots_per_bucket = slots_per_bucket
+        self.max_kicks = max_kicks
+        self.seed = seed
+        self.capacity_hint = capacity_hint
+        self.load_target = load_target
+        self.min_buckets = min_buckets
+        self.tables: list[PartialKeyCuckooTable] = [self._make_table(first=True)]
+
+    def _make_table(self, first: bool, expected: int | None = None) -> PartialKeyCuckooTable:
+        min_slots = self.min_buckets * self.slots_per_bucket
+        if first:
+            if self.capacity_hint is not None:
+                slots = 1 << math.floor(math.log2(max(min_slots, self.capacity_hint)))
+            else:
+                slots = min_slots
+        else:
+            if expected is None:
+                if self.capacity_hint is not None:
+                    expected = max(1, int(self.capacity_hint * 1.05) - len(self))
+                else:
+                    expected = max(1, len(self))
+            # Balanced power-of-two sizing: take the next power of two when
+            # the overflow table would end up reasonably full, otherwise
+            # take the one below and let the chain continue (utilization
+            # stays ~95 % regardless of where the key count falls between
+            # powers of two — the paper's 1 M + 128 K example generalized).
+            need = max(min_slots, expected / self.load_target)
+            ceil_p = _round_pow2(math.ceil(need))
+            if expected / ceil_p >= 0.8 * self.load_target or ceil_p <= min_slots:
+                slots = ceil_p
+            else:
+                slots = max(min_slots, ceil_p // 2)
+        nbuckets = max(self.min_buckets, slots // self.slots_per_bucket)
+        return PartialKeyCuckooTable(
+            nbuckets,
+            fp_bits=self.fp_bits,
+            value_bits=self.value_bits,
+            slots_per_bucket=self.slots_per_bucket,
+            max_kicks=self.max_kicks,
+            seed=self.seed + len(getattr(self, "tables", [])),
+        )
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, key: int, value: int = 0) -> None:
+        """Insert into the active table, chaining a new one on overflow."""
+        while True:
+            try:
+                self.tables[-1].insert(key, value)
+                return
+            except CuckooTableFull:
+                self.tables.append(self._make_table(first=False))
+
+    def insert_many(self, keys: np.ndarray, values: np.ndarray | int = 0) -> None:
+        """Bulk insert, chaining overflow tables as needed."""
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        vals = np.broadcast_to(np.asarray(values, dtype=np.uint32), keys.shape).copy()
+        pending_keys, pending_vals = keys, vals
+        while pending_keys.size:
+            ok = self.tables[-1].insert_many(pending_keys, pending_vals)
+            pending_keys = pending_keys[~ok]
+            pending_vals = pending_vals[~ok]
+            if pending_keys.size:
+                self.tables.append(self._make_table(first=False, expected=pending_keys.size))
+
+    # -- lookup -----------------------------------------------------------
+
+    def candidate_values(self, key: int) -> np.ndarray:
+        """Distinct candidate values across every chained table."""
+        parts = [t.candidate_values(key) for t in self.tables]
+        return np.unique(np.concatenate(parts)) if parts else np.zeros(0, dtype=np.uint32)
+
+    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized count of *distinct* candidate values per key.
+
+        This is the paper's query-amplification metric (Fig. 7a): how many
+        data partitions a reader must consult for each key.
+        """
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        all_vals = []
+        all_match = []
+        for t in self.tables:
+            vals, match = t.lookup_many(keys)
+            all_vals.append(vals)
+            all_match.append(match)
+        vals = np.concatenate(all_vals, axis=1).astype(np.int64)
+        match = np.concatenate(all_match, axis=1)
+        # Distinct count per row: push non-matches to a sentinel, sort rows,
+        # count unique non-sentinel entries.
+        sentinel = np.int64(-1)
+        masked = np.where(match, vals, sentinel)
+        masked.sort(axis=1)
+        distinct = (masked[:, 1:] != masked[:, :-1]) & (masked[:, 1:] != sentinel)
+        first_real = masked[:, 0] != sentinel
+        return distinct.sum(axis=1) + first_real.astype(np.int64)
+
+    def contains(self, key: int) -> bool:
+        return any(t.contains(key) for t in self.tables)
+
+    # -- accounting -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+    @property
+    def stats(self) -> CuckooStats:
+        return CuckooStats(
+            nkeys=len(self),
+            nslots=sum(t.capacity_slots for t in self.tables),
+            ntables=len(self.tables),
+            size_bytes=sum(t.size_bytes for t in self.tables),
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return self.stats.size_bytes

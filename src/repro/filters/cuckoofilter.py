@@ -1,0 +1,90 @@
+"""Standard cuckoo filter (Fan et al., CoNEXT'14) — membership only.
+
+The paper cites the cuckoo filter as one of the general-purpose compact
+filters that "may also be used to implement FilterKV" (§VI).  This class is
+a thin specialization of `PartialKeyCuckooTable` with a zero-width value
+field: it answers *is this key (probably) present*, supports deletion, and
+is used by the aux-table ablation benchmark as a membership-mode backend
+(queried exhaustively per rank, like the Bloom design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cuckoo import CuckooTableFull, PartialKeyCuckooTable
+
+__all__ = ["CuckooFilter"]
+
+
+class CuckooFilter:
+    """Approximate-membership filter with deletion support.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of keys; the table is sized for ~95 % load.
+    fp_bits:
+        Fingerprint width; false-positive rate is roughly
+        ``2 * slots_per_bucket / 2**fp_bits``.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        fp_bits: int = 12,
+        slots_per_bucket: int = 4,
+        max_kicks: int = 500,
+        seed: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        nbuckets = max(1, -(-capacity // slots_per_bucket))  # ceil div
+        self._table = PartialKeyCuckooTable(
+            nbuckets,
+            fp_bits=fp_bits,
+            value_bits=0,
+            slots_per_bucket=slots_per_bucket,
+            max_kicks=max_kicks,
+            seed=seed,
+        )
+
+    def add(self, key: int) -> None:
+        """Insert a key; raises `CuckooTableFull` when the filter saturates."""
+        self._table.insert(key, 0)
+
+    def add_many(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk insert; returns the mask of keys that fit."""
+        return self._table.insert_many(keys, 0)
+
+    def __contains__(self, key: int) -> bool:
+        return self._table.contains(key)
+
+    def contains_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized membership test."""
+        _, match = self._table.lookup_many(keys)
+        return match.any(axis=1)
+
+    def delete(self, key: int) -> bool:
+        """Remove one occurrence of the key's fingerprint; True if found."""
+        return self._table.delete(key)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._table.size_bytes
+
+    @property
+    def load_factor(self) -> float:
+        return self._table.load_factor
+
+    def expected_fpr(self) -> float:
+        """Analytic false-positive rate at the current load."""
+        probed = 2 * self._table.slots_per_bucket * self._table.load_factor
+        return min(1.0, probed / (1 << self._table.fp_bits))
+
+
+# Re-exported so callers can catch saturation without importing cuckoo.py.
+CuckooFilterFull = CuckooTableFull

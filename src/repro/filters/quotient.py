@@ -1,0 +1,201 @@
+"""Quotient filter (Bender et al., VLDB'12) — the related-work alternative.
+
+The paper lists quotient filters among the hash-based compact filters that
+could implement FilterKV's lossy auxiliary tables (§VI).  This is a faithful
+single-table implementation with the classic three metadata bits per slot
+(``is_occupied``, ``is_continuation``, ``is_shifted``) and in-cluster
+shifting.  It stores 64-bit digests split into a ``q``-bit quotient and an
+``r``-bit remainder; false positives arise when two digests collide on both.
+
+It is deliberately scalar (insert and lookup walk clusters) — the aux-table
+ablation uses it at moderate scale to compare space/amplification against
+the Bloom and cuckoo designs, not to win throughput contests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hashing import hash64
+
+__all__ = ["QuotientFilter", "QuotientFilterFull"]
+
+
+class QuotientFilterFull(Exception):
+    """Raised when an insert cannot find an empty slot in the table."""
+
+
+class QuotientFilter:
+    """Approximate-membership quotient filter over 64-bit digests.
+
+    Parameters
+    ----------
+    qbits:
+        log2 of the slot count.
+    rbits:
+        Remainder width; the false-positive rate is about
+        ``load_factor / 2**rbits``.
+    seed:
+        Seed for the digest scrambler applied to incoming keys.
+    """
+
+    def __init__(self, qbits: int, rbits: int, seed: int = 0):
+        if not 1 <= qbits <= 31:
+            raise ValueError(f"qbits must be in [1, 31], got {qbits}")
+        if not 1 <= rbits <= 32:
+            raise ValueError(f"rbits must be in [1, 32], got {rbits}")
+        self.qbits = qbits
+        self.rbits = rbits
+        self.seed = seed
+        self.nslots = 1 << qbits
+        self._rem = np.zeros(self.nslots, dtype=np.uint32)
+        self._occ = np.zeros(self.nslots, dtype=bool)
+        self._cont = np.zeros(self.nslots, dtype=bool)
+        self._shift = np.zeros(self.nslots, dtype=bool)
+        self._count = 0
+
+    # -- digesting --------------------------------------------------------
+
+    def _split(self, key: int) -> tuple[int, int]:
+        h = int(hash64(np.uint64(key), self.seed)[()])
+        quotient = (h >> self.rbits) & (self.nslots - 1)
+        remainder = h & ((1 << self.rbits) - 1)
+        return quotient, remainder
+
+    # -- slot helpers -----------------------------------------------------
+
+    def _is_empty(self, i: int) -> bool:
+        return not (self._occ[i] or self._cont[i] or self._shift[i])
+
+    def _prev(self, i: int) -> int:
+        return (i - 1) % self.nslots
+
+    def _next(self, i: int) -> int:
+        return (i + 1) % self.nslots
+
+    def _find_run_start(self, quotient: int) -> int:
+        """Start slot of the run for ``quotient`` (which must be occupied)."""
+        # Walk left to the cluster start (first unshifted slot).
+        b = quotient
+        while self._shift[b]:
+            b = self._prev(b)
+        # Walk forward run-by-run until we have consumed as many runs as
+        # there are occupied quotients in [cluster start, quotient].
+        s = b
+        qi = b
+        while qi != quotient:
+            s = self._next(s)
+            while self._cont[s]:
+                s = self._next(s)
+            qi = self._next(qi)
+            while not self._occ[qi]:
+                qi = self._next(qi)
+        return s
+
+    # -- public ops -------------------------------------------------------
+
+    def add(self, key: int) -> None:
+        """Insert a key (idempotent for identical digests)."""
+        quotient, remainder = self._split(key)
+        if self._count >= self.nslots:
+            raise QuotientFilterFull("quotient filter has no empty slots")
+        if self._is_empty(quotient) and not self._occ[quotient]:
+            self._rem[quotient] = remainder
+            self._occ[quotient] = True
+            self._count += 1
+            return
+        run_exists = bool(self._occ[quotient])
+        self._occ[quotient] = True
+        if run_exists:
+            start = self._find_run_start(quotient)
+            # Scan the (sorted) run for the insertion point.
+            pos = start
+            while True:
+                cur = int(self._rem[pos])
+                if cur == remainder:
+                    return  # already present: set semantics
+                if cur > remainder:
+                    break
+                nxt = self._next(pos)
+                if not self._cont[nxt]:
+                    pos = nxt  # insert after the run's last element
+                    break
+                pos = nxt
+            inserting_at_start = pos == start
+        else:
+            # A brand-new run begins where the run *would* start.  That is
+            # the slot right after the runs of all smaller occupied
+            # quotients in this cluster, which _find_run_start computes once
+            # the occupied bit is set (done above) — but with no existing
+            # run the scan needs the would-be position:
+            # With the occupied bit just set, `_find_run_start` lands on the
+            # slot right after the runs of all earlier occupied quotients in
+            # this cluster — exactly where the new run must begin.
+            pos = self._find_run_start(quotient)
+            inserting_at_start = True
+        self._shift_in(pos, remainder, quotient, inserting_at_start, run_exists)
+        self._count += 1
+
+    def _shift_in(
+        self, pos: int, remainder: int, quotient: int, at_run_start: bool, run_exists: bool
+    ) -> None:
+        """Place ``remainder`` at ``pos``, rippling the cluster rightward."""
+        cur_rem = remainder
+        # The inserted element is a continuation iff it lands mid-run.
+        cur_cont = run_exists and not at_run_start
+        i = pos
+        first = True
+        while True:
+            if self._is_empty(i):
+                self._rem[i] = cur_rem
+                self._cont[i] = cur_cont
+                self._shift[i] = i != quotient if first else True
+                return
+            old_rem = int(self._rem[i])
+            old_cont = bool(self._cont[i])
+            self._rem[i] = cur_rem
+            if first and at_run_start and run_exists:
+                # The displaced old run head becomes a continuation.
+                old_cont_out = True
+            else:
+                old_cont_out = old_cont
+            self._cont[i] = cur_cont
+            self._shift[i] = i != quotient if first else True
+            cur_rem, cur_cont = old_rem, old_cont_out
+            first = False
+            i = self._next(i)
+
+    def __contains__(self, key: int) -> bool:
+        quotient, remainder = self._split(key)
+        if not self._occ[quotient]:
+            return False
+        pos = self._find_run_start(quotient)
+        while True:
+            if int(self._rem[pos]) == remainder:
+                return True
+            pos = self._next(pos)
+            if not self._cont[pos]:
+                return False
+
+    def contains_many(self, keys: np.ndarray) -> np.ndarray:
+        """Membership test for a batch of keys (scalar loop inside)."""
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        return np.fromiter((int(k) in self for k in keys), dtype=bool, count=keys.size)
+
+    # -- accounting -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self.nslots
+
+    @property
+    def size_bytes(self) -> int:
+        """Packed size: (rbits + 3 metadata bits) per slot."""
+        return -(-self.nslots * (self.rbits + 3) // 8)
+
+    def expected_fpr(self) -> float:
+        """Analytic false-positive rate at the current load factor."""
+        return min(1.0, self.load_factor / (1 << self.rbits) * 2)

@@ -1,0 +1,139 @@
+"""Xor filter (Graf & Lemire, 2020): a static compact membership filter.
+
+The paper surveys the filter design space (§VI: Bloom, cuckoo, quotient,
+SuRF, SILT's ECT) — all candidates for FilterKV's auxiliary tables.  The
+xor filter postdates the paper slightly but has become the standard static
+answer: for an *immutable* key set (exactly what an in-situ epoch
+produces) it stores one fingerprint per slot at ~1.23 slots/key with
+false-positive rate ``2^-fp_bits`` and exactly three memory probes.
+
+Construction peels a random 3-uniform hypergraph: each key maps to three
+slots (one per segment); slots referenced by a single key are peeled
+repeatedly; assignment then walks the peel stack backwards, setting each
+key's free slot so the xor of its three slots equals its fingerprint.
+Construction can fail for unlucky seeds (probability vanishes at ~1.23×
+occupancy) and is retried with a fresh seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .hashing import fingerprint, hash64
+
+__all__ = ["XorFilter", "XorConstructionError"]
+
+
+class XorConstructionError(RuntimeError):
+    """Peeling failed for every attempted seed (should be ~impossible)."""
+
+
+class XorFilter:
+    """Static membership filter over 64-bit keys."""
+
+    def __init__(self, keys: np.ndarray, fp_bits: int = 8, seed: int = 0, max_tries: int = 32):
+        if not 1 <= fp_bits <= 32:
+            raise ValueError(f"fp_bits must be in [1, 32], got {fp_bits}")
+        keys = np.unique(np.asarray(keys, dtype=np.uint64).ravel())
+        if keys.size == 0:
+            raise ValueError("xor filter needs at least one key")
+        self.fp_bits = int(fp_bits)
+        self.nkeys = int(keys.size)
+        self._segment = max(2, math.ceil(1.23 * keys.size / 3) + 8)
+        nslots = 3 * self._segment
+        for attempt in range(max_tries):
+            self.seed = seed + attempt * 0x9E37
+            order = self._peel(keys)
+            if order is not None:
+                self._slots = self._assign(keys, order, nslots)
+                return
+        raise XorConstructionError(f"peeling failed after {max_tries} seeds")
+
+    # -- hashing ------------------------------------------------------------
+
+    def _positions(self, keys: np.ndarray) -> np.ndarray:
+        """(n, 3) slot indices, one per segment."""
+        seg = np.uint64(self._segment)
+        cols = [
+            (hash64(keys, self.seed + i) % seg).astype(np.int64) + i * self._segment
+            for i in range(3)
+        ]
+        return np.stack(cols, axis=1)
+
+    def _fingerprints(self, keys: np.ndarray) -> np.ndarray:
+        return fingerprint(keys, self.fp_bits, seed=self.seed + 0xF1).astype(np.uint32)
+
+    # -- construction ---------------------------------------------------------
+
+    def _peel(self, keys: np.ndarray) -> list[tuple[int, int]] | None:
+        """Peel order as (key index, freed slot), or None on failure."""
+        pos = self._positions(keys)
+        nslots = 3 * self._segment
+        count = np.zeros(nslots, dtype=np.int64)
+        xor_keyidx = np.zeros(nslots, dtype=np.int64)
+        for c in range(3):
+            np.add.at(count, pos[:, c], 1)
+            np.bitwise_xor.at(xor_keyidx, pos[:, c], np.arange(keys.size))
+        queue = list(np.nonzero(count == 1)[0])
+        order: list[tuple[int, int]] = []
+        alive = np.ones(keys.size, dtype=bool)
+        while queue:
+            slot = queue.pop()
+            if count[slot] != 1:
+                continue
+            ki = int(xor_keyidx[slot])
+            if not alive[ki]:
+                continue
+            alive[ki] = False
+            order.append((ki, int(slot)))
+            for c in range(3):
+                s = int(pos[ki, c])
+                count[s] -= 1
+                xor_keyidx[s] ^= ki
+                if count[s] == 1:
+                    queue.append(s)
+        return order if len(order) == keys.size else None
+
+    def _assign(self, keys: np.ndarray, order: list[tuple[int, int]], nslots: int) -> np.ndarray:
+        pos = self._positions(keys)
+        fps = self._fingerprints(keys)
+        slots = np.zeros(nslots, dtype=np.uint32)
+        for ki, free_slot in reversed(order):
+            acc = np.uint32(fps[ki])
+            for c in range(3):
+                s = int(pos[ki, c])
+                if s != free_slot:
+                    acc ^= slots[s]
+            slots[free_slot] = acc
+        return slots
+
+    # -- queries ---------------------------------------------------------------
+
+    def contains_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._positions(keys)
+        acc = self._slots[pos[:, 0]] ^ self._slots[pos[:, 1]] ^ self._slots[pos[:, 2]]
+        return acc == self._fingerprints(keys)
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self.contains_many(np.asarray([key], dtype=np.uint64))[0])
+
+    # -- accounting --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.nkeys
+
+    @property
+    def size_bytes(self) -> int:
+        return math.ceil(3 * self._segment * self.fp_bits / 8)
+
+    @property
+    def bits_per_key(self) -> float:
+        return self.size_bytes * 8 / self.nkeys
+
+    def expected_fpr(self) -> float:
+        return 2.0**-self.fp_bits

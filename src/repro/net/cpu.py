@@ -1,0 +1,123 @@
+"""CPU and transport profiles that drive the RPC cost model.
+
+The paper's motivation (§II, Fig. 1) is that RPC cost is a function of
+*single-thread* CPU performance, not NIC speed: request handling, tag
+matching, context switches and system calls all serialize on one core.
+Manycore KNL parts run these paths ~4× slower than Haswell, and blocking
+(interrupt-driven) progress adds context switches that cost ~6× more on
+KNL.
+
+Profiles below are calibrated against the paper's Fig. 1 endpoints (see
+EXPERIMENTS.md for the table of calibrated constants):
+
+* Haswell polling RPC latency ≈ 15 µs for small messages;
+* KNL ≈ 4× Haswell latency (Fig. 1a), blocking mode far worse (Fig. 1c);
+* per-node all-to-all RPC bandwidth at 16 KB messages ≈ 3× lower on KNL
+  (Fig. 1d), despite KNL nodes having 2× the cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuProfile", "TransportProfile", "CPUS", "TRANSPORTS", "rpc_cpu_time"]
+
+
+@dataclass(frozen=True)
+class CpuProfile:
+    """Single-thread cost envelope of one processor type.
+
+    Attributes
+    ----------
+    slowdown:
+        Single-thread slowdown relative to Haswell (Haswell = 1.0).
+    cores_per_node:
+        Physical cores exposed to the application.
+    rpc_base_us:
+        CPU time to issue/handle one RPC (serialization, tag matching,
+        doorbell) on Haswell-speed hardware, microseconds.
+    rpc_per_kb_us:
+        Additional CPU time per KiB of payload touched (checksum, copy).
+    context_switch_us:
+        One context switch / interrupt wakeup at Haswell speed.
+    progress_msgs_per_s:
+        Per-node message-rate ceiling of the NIC progress path at Haswell
+        speed.  The paper observes that NICs expose a single interrupt
+        queue and library code "can only poll as fast as the cores will
+        let it" (§I) — so this ceiling divides by ``slowdown``, which is
+        why KNL nodes plateau ~3× below Haswell in Fig. 1d despite having
+        more cores.
+    """
+
+    name: str
+    slowdown: float
+    cores_per_node: int
+    rpc_base_us: float = 15.0
+    rpc_per_kb_us: float = 1.5
+    context_switch_us: float = 3.0
+    progress_msgs_per_s: float = 150_000.0
+
+    def __post_init__(self):
+        if self.slowdown <= 0:
+            raise ValueError("slowdown must be positive")
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+
+
+@dataclass(frozen=True)
+class TransportProfile:
+    """Wire-level properties of a network transport stack.
+
+    ``sw_overhead_us`` is the extra per-message software cost of the stack
+    (TCP's kernel path vs GNI's user-level path), charged at the CPU's
+    single-thread speed like every other software cost.
+    """
+
+    name: str
+    wire_latency_us: float
+    link_bandwidth_gbps: float
+    sw_overhead_us: float = 0.0
+    max_eager_bytes: int = 16384  # largest payload without a bulk handshake
+
+    def __post_init__(self):
+        if self.link_bandwidth_gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+
+
+def rpc_cpu_time(cpu: CpuProfile, transport: TransportProfile, nbytes: int, blocking: bool) -> float:
+    """Seconds of single-thread CPU consumed by one RPC endpoint.
+
+    Polling endpoints spin, paying only the software path; blocking
+    endpoints sleep and pay two context switches (wakeup + reschedule) per
+    message — the effect Fig. 1c isolates.
+    """
+    us = cpu.rpc_base_us + transport.sw_overhead_us + cpu.rpc_per_kb_us * (nbytes / 1024)
+    if blocking:
+        us += 2 * cpu.context_switch_us
+    return us * cpu.slowdown * 1e-6
+
+
+# Calibrated processor inventory (paper §II / §V-B).
+CPUS: dict[str, CpuProfile] = {
+    "haswell": CpuProfile("haswell", slowdown=1.0, cores_per_node=32),
+    # Trinity KNL: 1.4 GHz Xeon Phi, 68 cores; ~4x single-thread gap (Fig. 1a).
+    "trinity-knl": CpuProfile("trinity-knl", slowdown=4.0, cores_per_node=68),
+    # Theta KNL: 1.3 GHz, slightly slower clocks than Trinity's part.
+    "theta-knl": CpuProfile("theta-knl", slowdown=4.3, cores_per_node=64),
+    # CMU Narwhal: old Opteron-class nodes, 4 cores (paper §V-A).
+    "narwhal": CpuProfile("narwhal", slowdown=1.5, cores_per_node=4),
+}
+
+TRANSPORTS: dict[str, TransportProfile] = {
+    # Cray Aries user-level transport: 16 KB is the largest eager payload
+    # GNI supports without bulk transfers (paper §II).
+    "gni": TransportProfile("gni", wire_latency_us=1.3, link_bandwidth_gbps=80.0),
+    # Kernel TCP over the same wire: more software per message.
+    "tcp": TransportProfile(
+        "tcp", wire_latency_us=15.0, link_bandwidth_gbps=80.0, sw_overhead_us=18.0
+    ),
+    # Narwhal's 1000 Mbps Ethernet NIC (paper §V-A).
+    "ethernet-1g": TransportProfile(
+        "ethernet-1g", wire_latency_us=50.0, link_bandwidth_gbps=1.0, sw_overhead_us=18.0
+    ),
+}

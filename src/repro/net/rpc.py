@@ -1,0 +1,139 @@
+"""RPC cost model on the DES: latency and message exchange (paper Fig. 1).
+
+An RPC round trip is decomposed the way the paper's Mercury benchmark
+behaves:
+
+1. client CPU issues the request (serialization, tag matching, doorbell);
+2. the wire carries ``nbytes`` (payloads beyond the transport's eager
+   limit pay an extra rendezvous round trip, like GNI bulk transfers);
+3. server CPU receives and handles it — in *blocking* mode this includes
+   the context switches of being woken up (paper Fig. 1c), in *polling*
+   mode the progress thread is already spinning;
+4. a small response travels back and the client completes it.
+
+Every CPU stage is charged through `rpc_cpu_time`, so single-thread
+``slowdown`` is the lever that separates Haswell from KNL — the paper's
+central observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cpu import CPUS, TRANSPORTS, CpuProfile, TransportProfile, rpc_cpu_time
+from .des import Resource, Simulator
+
+__all__ = ["RpcEndpoint", "rpc_roundtrip", "measure_rpc_latency", "RpcLatencyResult"]
+
+_RESPONSE_BYTES = 32  # tiny ack payload
+
+
+class RpcEndpoint:
+    """One process's RPC stack: a CPU progress path modeled as a resource."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CpuProfile,
+        transport: TransportProfile,
+        mode: str = "polling",
+    ):
+        if mode not in ("polling", "blocking"):
+            raise ValueError(f"mode must be 'polling' or 'blocking', got {mode!r}")
+        self.sim = sim
+        self.cpu = cpu
+        self.transport = transport
+        self.mode = mode
+        self.core = Resource(sim, capacity=1)
+        self.messages_handled = 0
+
+    @property
+    def blocking(self) -> bool:
+        return self.mode == "blocking"
+
+    def busy(self, nbytes: int, handling: bool = True):
+        """Coroutine: occupy the progress core for one message's CPU work."""
+        yield self.core.request()
+        try:
+            dt = rpc_cpu_time(self.cpu, self.transport, nbytes, self.blocking and handling)
+            yield self.sim.timeout(dt)
+            self.messages_handled += 1
+        finally:
+            self.core.release()
+
+
+def _wire_time(transport: TransportProfile, nbytes: int) -> float:
+    bw = transport.link_bandwidth_gbps * 1e9 / 8
+    return transport.wire_latency_us * 1e-6 + nbytes / bw
+
+
+def rpc_roundtrip(sim: Simulator, client: RpcEndpoint, server: RpcEndpoint, nbytes: int):
+    """Coroutine: one request/response exchange; returns its latency (s)."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    t0 = sim.now
+    transport = client.transport
+    if nbytes > transport.max_eager_bytes:
+        # Rendezvous/bulk handshake: an extra small round trip before the
+        # payload flows (GNI requires bulk transfers past 16 KB, §II).
+        yield sim.spawn(client.busy(0, handling=False))
+        yield sim.timeout(_wire_time(transport, _RESPONSE_BYTES))
+        yield sim.spawn(server.busy(0))
+        yield sim.timeout(_wire_time(transport, _RESPONSE_BYTES))
+    yield sim.spawn(client.busy(nbytes, handling=False))  # send side
+    yield sim.timeout(_wire_time(transport, nbytes))  # request on the wire
+    yield sim.spawn(server.busy(nbytes))  # receive + handle
+    yield sim.timeout(_wire_time(transport, _RESPONSE_BYTES))  # response
+    yield sim.spawn(client.busy(_RESPONSE_BYTES))  # completion
+    return sim.now - t0
+
+
+@dataclass(frozen=True)
+class RpcLatencyResult:
+    """Latency statistics from `measure_rpc_latency` (microseconds)."""
+
+    cpu: str
+    transport: str
+    mode: str
+    msg_bytes: int
+    mean_us: float
+    nmessages: int
+
+
+def measure_rpc_latency(
+    cpu: str | CpuProfile,
+    transport: str | TransportProfile = "gni",
+    msg_bytes: int = 8,
+    mode: str = "polling",
+    nmessages: int = 64,
+) -> RpcLatencyResult:
+    """Simulate a sender/receiver pair on two nodes (paper Fig. 1a–c setup).
+
+    Messages are issued back to back; the mean round-trip latency is
+    reported in microseconds.
+    """
+    cpu_p = CPUS[cpu] if isinstance(cpu, str) else cpu
+    tr_p = TRANSPORTS[transport] if isinstance(transport, str) else transport
+    sim = Simulator()
+    client = RpcEndpoint(sim, cpu_p, tr_p, mode)
+    server = RpcEndpoint(sim, cpu_p, tr_p, mode)
+
+    latencies: list[float] = []
+
+    def driver():
+        for _ in range(nmessages):
+            lat = yield sim.spawn(rpc_roundtrip(sim, client, server, msg_bytes))
+            latencies.append(lat)
+
+    sim.spawn(driver())
+    sim.run()
+    return RpcLatencyResult(
+        cpu=cpu_p.name,
+        transport=tr_p.name,
+        mode=mode,
+        msg_bytes=msg_bytes,
+        mean_us=float(np.mean(latencies) * 1e6),
+        nmessages=nmessages,
+    )

@@ -1,0 +1,94 @@
+"""Interconnect topologies and their all-to-all efficiency.
+
+Two topology families cover the paper's testbeds:
+
+* `FatTreeTopology` — CMU Narwhal's Ethernet fat tree with a 14:6
+  oversubscription at the access layer and 24:20 at the distribution layer
+  (paper §V-A).  All-to-all traffic that crosses a layer competes for the
+  oversubscribed uplinks, so the effective per-node shuffle bandwidth
+  *shrinks as the job grows* — the driving effect behind Fig. 8's steep
+  base-format curve.
+* `DragonflyTopology` — Trinity/Theta's Cray Aries network, modeled as a
+  mildly tapering global bandwidth (adaptive routing keeps all-to-all
+  efficiency high and nearly scale-independent at the paper's job sizes).
+
+Both expose ``alltoall_efficiency(nnodes)``: the fraction of a node's NIC
+bandwidth usable for all-to-all shuffle at that job size, plus an
+``incast_factor`` capturing endpoint contention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FatTreeTopology", "DragonflyTopology", "NARWHAL_FATTREE", "ARIES_DRAGONFLY"]
+
+
+@dataclass(frozen=True)
+class FatTreeTopology:
+    """Two-layer oversubscribed tree.
+
+    Attributes
+    ----------
+    nodes_per_edge:
+        Hosts attached to one access (edge) switch.
+    edges_per_pod:
+        Access switches below one distribution switch.
+    access_oversub / dist_oversub:
+        Downlink:uplink capacity ratios (>1 means oversubscribed).
+    incast_alpha:
+        Endpoint-contention loss per doubling of the job's edge-switch
+        span.  All-to-all over commodity Ethernet degrades sharply once a
+        job spreads across many switches (receiver incast, buffer
+        pressure); this calibrated constant reproduces the steep growth of
+        the base format's write slowdown in Fig. 8.
+    """
+
+    name: str = "fat-tree"
+    nodes_per_edge: int = 14
+    edges_per_pod: int = 12
+    access_oversub: float = 14.0 / 6.0
+    dist_oversub: float = 24.0 / 20.0
+    incast_alpha: float = 1.2
+
+    def alltoall_efficiency(self, nnodes: int) -> float:
+        """Usable fraction of NIC bandwidth for uniform all-to-all."""
+        if nnodes <= 1:
+            return 1.0
+        # Fraction of a node's traffic leaving its edge switch / its pod.
+        in_edge = min(self.nodes_per_edge, nnodes)
+        cross_edge = (nnodes - in_edge) / (nnodes - 1)
+        pod = self.nodes_per_edge * self.edges_per_pod
+        in_pod = min(pod, nnodes)
+        cross_pod = (nnodes - in_pod) / (nnodes - 1)
+        # Bottleneck analysis: the uplink a flow crosses is shared by the
+        # oversubscription factor of that layer.
+        demand = 1.0 + cross_edge * (self.access_oversub - 1.0) + cross_pod * (
+            self.dist_oversub - 1.0
+        )
+        span = max(1.0, nnodes / self.nodes_per_edge)
+        incast = 1.0 + self.incast_alpha * math.log2(span)
+        return 1.0 / (demand * incast)
+
+
+@dataclass(frozen=True)
+class DragonflyTopology:
+    """Aries-class dragonfly: high, mildly tapering all-to-all efficiency."""
+
+    name: str = "dragonfly"
+    base_efficiency: float = 0.9
+    taper_alpha: float = 0.01
+
+    def alltoall_efficiency(self, nnodes: int) -> float:
+        if nnodes <= 1:
+            return 1.0
+        eff = self.base_efficiency / (1.0 + self.taper_alpha * math.log2(nnodes))
+        return max(0.1, eff)
+
+
+# Narwhal: 14:6 access, 24:20 distribution oversubscription (paper §V-A).
+NARWHAL_FATTREE = FatTreeTopology()
+
+# Trinity / Theta Aries interconnect.
+ARIES_DRAGONFLY = DragonflyTopology()

@@ -1,0 +1,100 @@
+"""Execution tracing for the discrete-event simulator.
+
+A `Tracer` records spans — named intervals attributed to a resource — so a
+DES experiment can report what the paper's §II instruments on hardware:
+how busy each core's progress path was, where time went, and a rendered
+timeline for small runs.  Used by the RPC microbenchmarks when digging
+into *why* a configuration is slow rather than just how slow it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .des import Simulator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval."""
+
+    resource: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects spans against a simulator's clock."""
+
+    sim: Simulator
+    spans: list[Span] = field(default_factory=list)
+
+    def record(self, resource: str, label: str, start: float, end: float | None = None) -> None:
+        end = self.sim.now if end is None else end
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} > {end}")
+        self.spans.append(Span(resource, label, start, end))
+
+    def span(self, resource: str, label: str):
+        """Context manager: trace the enclosed simulated interval."""
+        tracer = self
+
+        class _Span:
+            def __enter__(inner):
+                inner.start = tracer.sim.now
+                return inner
+
+            def __exit__(inner, *exc):
+                tracer.record(resource, label, inner.start)
+
+        return _Span()
+
+    # -- analysis -----------------------------------------------------------
+
+    def busy_time(self, resource: str) -> float:
+        """Total traced time on one resource (spans assumed non-overlapping,
+        which holds for unit-capacity resources)."""
+        return sum(s.duration for s in self.spans if s.resource == resource)
+
+    def utilization(self, resource: str, horizon: float | None = None) -> float:
+        horizon = self.sim.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(resource) / horizon)
+
+    def by_label(self) -> dict[str, float]:
+        """Total time per span label across all resources."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.label] = out.get(s.label, 0.0) + s.duration
+        return out
+
+    def timeline(self, width: int = 64, resources: list[str] | None = None) -> str:
+        """ASCII Gantt of the trace (small runs only)."""
+        if not self.spans:
+            return "(empty trace)"
+        horizon = max(s.end for s in self.spans) or 1.0
+        names = resources or sorted({s.resource for s in self.spans})
+        lw = max(len(n) for n in names)
+        lines = []
+        for name in names:
+            row = [" "] * width
+            for s in self.spans:
+                if s.resource != name:
+                    continue
+                a = int(s.start / horizon * (width - 1))
+                b = max(a + 1, int(s.end / horizon * (width - 1)) + 1)
+                mark = s.label[0] if s.label else "#"
+                for i in range(a, min(b, width)):
+                    row[i] = mark
+            lines.append(f"{name:>{lw}} |{''.join(row)}|")
+        lines.append(f"{'':>{lw}}  0{' ' * (width - len(f'{horizon:.3g}') - 1)}{horizon:.3g}s")
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Storage substrate: value logs, SSTables, device models, compression.
+
+Exports:
+
+* `StorageDevice` / `DeviceProfile` / `IOCounters` — charged byte store.
+* `ValueLog` / `DataPointer` — indirection logs (paper §III-B).
+* `SSTableWriter` / `SSTableReader` — flattened-LSM partition format.
+* `compress` / `decompress` — Snappy-wire-format codec (paper §IV-C).
+"""
+
+from .blockio import DeviceProfile, IOCounters, StorageDevice, StorageFile
+from .checksum import CHECKSUM_BYTES, fastsum64
+from .manifest import MANIFEST_NAME, EpochInfo, Manifest
+from .compression import SnappyError, compress, compression_ratio, decompress
+from .log import POINTER_BYTES, DataPointer, ValueLog
+from .memtable import MemTable, RunWriter, flatten_runs
+from .tiering import BurstReport, TierConfig, TieredStorage
+from .sstable import (
+    FOOTER_BYTES,
+    CorruptBlockError,
+    SSTableReader,
+    SSTableWriter,
+    TableStats,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "IOCounters",
+    "StorageDevice",
+    "StorageFile",
+    "SnappyError",
+    "compress",
+    "compression_ratio",
+    "decompress",
+    "POINTER_BYTES",
+    "DataPointer",
+    "ValueLog",
+    "MemTable",
+    "RunWriter",
+    "flatten_runs",
+    "BurstReport",
+    "TierConfig",
+    "TieredStorage",
+    "FOOTER_BYTES",
+    "CorruptBlockError",
+    "CHECKSUM_BYTES",
+    "fastsum64",
+    "MANIFEST_NAME",
+    "EpochInfo",
+    "Manifest",
+    "SSTableReader",
+    "SSTableWriter",
+    "TableStats",
+]

@@ -1,0 +1,166 @@
+"""Storage device model: seek + bandwidth costs, with exact I/O accounting.
+
+The paper's read-path evaluation (Fig. 11) reports three quantities per
+query: latency, number of storage read operations (seeks), and bytes
+fetched.  `StorageDevice` charges a fixed per-operation seek cost plus a
+bandwidth-proportional transfer cost, and keeps counters for all three.
+Real bytes live in an in-memory extent store (or an optional backing file),
+so readers get back exactly what writers stored — the timing model and the
+data path are both exercised.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceProfile", "IOCounters", "StorageDevice", "StorageFile"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Performance envelope of a storage target.
+
+    Attributes
+    ----------
+    read_bandwidth / write_bandwidth:
+        Sustained transfer rates in bytes/second.
+    seek_time:
+        Fixed cost charged per read/write operation, seconds.  For the
+        paper's burst-buffer + parallel-filesystem stack this models the
+        per-request round trip rather than a disk arm.
+    """
+
+    name: str = "generic"
+    read_bandwidth: float = 1e9
+    write_bandwidth: float = 1e9
+    seek_time: float = 5e-3
+
+    def __post_init__(self):
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.seek_time < 0:
+            raise ValueError("seek_time must be non-negative")
+
+    def read_time(self, nbytes: int) -> float:
+        return self.seek_time + nbytes / self.read_bandwidth
+
+    def write_time(self, nbytes: int) -> float:
+        return self.seek_time + nbytes / self.write_bandwidth
+
+
+@dataclass
+class IOCounters:
+    """Cumulative I/O accounting for a device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_time: float = 0.0
+    write_time: float = 0.0
+
+    def snapshot(self) -> "IOCounters":
+        return IOCounters(**vars(self))
+
+    def delta(self, since: "IOCounters") -> "IOCounters":
+        return IOCounters(
+            reads=self.reads - since.reads,
+            writes=self.writes - since.writes,
+            bytes_read=self.bytes_read - since.bytes_read,
+            bytes_written=self.bytes_written - since.bytes_written,
+            read_time=self.read_time - since.read_time,
+            write_time=self.write_time - since.write_time,
+        )
+
+
+class StorageDevice:
+    """A byte-addressable device with cost accounting.
+
+    Files are named extents inside the device; `open` returns a
+    `StorageFile` whose reads and writes are charged to this device's
+    counters.
+    """
+
+    def __init__(self, profile: DeviceProfile | None = None):
+        self.profile = profile or DeviceProfile()
+        self.counters = IOCounters()
+        self._files: dict[str, io.BytesIO] = {}
+
+    def open(self, name: str, create: bool = False) -> "StorageFile":
+        if name not in self._files:
+            if not create:
+                raise FileNotFoundError(f"no such extent: {name!r}")
+            self._files[name] = io.BytesIO()
+        return StorageFile(self, name)
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def file_size(self, name: str) -> int:
+        buf = self._files[name]
+        return len(buf.getbuffer())
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def total_bytes_stored(self) -> int:
+        return sum(len(b.getbuffer()) for b in self._files.values())
+
+    # -- charged primitives, used by StorageFile --------------------------
+
+    def _read(self, name: str, offset: int, size: int) -> bytes:
+        buf = self._files[name]
+        data = buf.getbuffer()[offset : offset + size].tobytes()
+        self.counters.reads += 1
+        self.counters.bytes_read += len(data)
+        self.counters.read_time += self.profile.read_time(len(data))
+        return data
+
+    def _append(self, name: str, data: bytes) -> int:
+        buf = self._files[name]
+        buf.seek(0, io.SEEK_END)
+        offset = buf.tell()
+        buf.write(data)
+        self.counters.writes += 1
+        self.counters.bytes_written += len(data)
+        self.counters.write_time += self.profile.write_time(len(data))
+        return offset
+
+
+@dataclass
+class StorageFile:
+    """Handle to one extent of a `StorageDevice`."""
+
+    device: StorageDevice
+    name: str
+    _closed: bool = field(default=False, repr=False)
+
+    def append(self, data: bytes) -> int:
+        """Append and return the offset the data landed at."""
+        self._check_open()
+        return self.device._append(self.name, bytes(data))
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``offset`` (short read at EOF)."""
+        self._check_open()
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        return self.device._read(self.name, offset, size)
+
+    @property
+    def size(self) -> int:
+        return self.device.file_size(self.name)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"I/O on closed file {self.name!r}")
+
+    def __enter__(self) -> "StorageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

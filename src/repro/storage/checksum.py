@@ -1,0 +1,42 @@
+"""Block checksums for the on-storage formats.
+
+Storage formats that survive real deployments carry per-block checksums;
+DeltaFS's tables (the paper's substrate) inherit LevelDB-style block CRCs.
+This module provides `fastsum64`, a vectorized 64-bit checksum built on
+the same splitmix64 mixer as the filters: each 8-byte word is mixed with a
+position-dependent multiplier and folded, so bit flips, swaps, and
+truncations all change the sum.
+
+It is not cryptographic — it defends against corruption, not adversaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..filters.hashing import splitmix64
+
+__all__ = ["fastsum64", "CHECKSUM_BYTES"]
+
+CHECKSUM_BYTES = 8
+_LEN_SALT = np.uint64(0x1DA177E4C3F41524)
+
+
+def fastsum64(data: bytes, seed: int = 0) -> int:
+    """64-bit checksum of ``data`` (vectorized; ~GB/s on NumPy).
+
+    Equal inputs give equal sums; any single-bit flip flips ~half the sum's
+    bits; permuted or truncated inputs disagree because words are weighted
+    by position and the length is folded in.
+    """
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    pad = (-raw.size) % 8
+    if pad:
+        raw = np.concatenate([raw, np.zeros(pad, dtype=np.uint8)])
+    words = raw.view("<u8").astype(np.uint64)
+    with np.errstate(over="ignore"):
+        positions = splitmix64(np.arange(words.size, dtype=np.uint64) ^ np.uint64(seed))
+        mixed = splitmix64(words ^ positions)
+        folded = np.bitwise_xor.reduce(mixed) if mixed.size else np.uint64(0)
+        out = splitmix64(folded ^ (np.uint64(len(data)) * _LEN_SALT))
+    return int(out[()])

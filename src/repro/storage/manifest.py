@@ -1,0 +1,109 @@
+"""Dataset manifest: what lives where across epochs.
+
+A multi-timestep in-situ run leaves behind one set of partition files per
+dump epoch (main tables, value logs, aux tables).  The manifest records
+the dataset's shape — format, rank count, value width, per-epoch record
+counts and file inventories — so a reader program can open a dataset
+without out-of-band knowledge.  Stored as a JSON extent on the same
+device as the data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .blockio import StorageDevice
+
+__all__ = ["EpochInfo", "Manifest", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "MANIFEST"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EpochInfo:
+    """One dump epoch's inventory."""
+
+    epoch: int
+    records: int
+    files: tuple[str, ...]
+    bytes: int
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "records": self.records,
+            "files": list(self.files),
+            "bytes": self.bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EpochInfo":
+        return cls(
+            epoch=int(d["epoch"]),
+            records=int(d["records"]),
+            files=tuple(d["files"]),
+            bytes=int(d["bytes"]),
+        )
+
+
+@dataclass
+class Manifest:
+    """Complete description of a persisted dataset."""
+
+    fmt: str
+    nranks: int
+    value_bytes: int
+    epochs: list[EpochInfo] = field(default_factory=list)
+
+    def add_epoch(self, info: EpochInfo) -> None:
+        if any(e.epoch == info.epoch for e in self.epochs):
+            raise ValueError(f"epoch {info.epoch} already recorded")
+        self.epochs.append(info)
+        self.epochs.sort(key=lambda e: e.epoch)
+
+    @property
+    def total_records(self) -> int:
+        return sum(e.records for e in self.epochs)
+
+    @property
+    def epoch_ids(self) -> list[int]:
+        return [e.epoch for e in self.epochs]
+
+    # -- persistence -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "version": _VERSION,
+            "format": self.fmt,
+            "nranks": self.nranks,
+            "value_bytes": self.value_bytes,
+            "epochs": [e.to_dict() for e in self.epochs],
+        }
+        return json.dumps(doc, indent=1, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Manifest":
+        try:
+            doc = json.loads(blob)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"malformed manifest: {e}") from e
+        if doc.get("version") != _VERSION:
+            raise ValueError(f"unsupported manifest version {doc.get('version')!r}")
+        m = cls(
+            fmt=doc["format"], nranks=int(doc["nranks"]), value_bytes=int(doc["value_bytes"])
+        )
+        for e in doc["epochs"]:
+            m.add_epoch(EpochInfo.from_dict(e))
+        return m
+
+    def save(self, device: StorageDevice) -> None:
+        """(Re)write the manifest extent on the device."""
+        device._files.pop(MANIFEST_NAME, None)  # manifests are replaced whole
+        device.open(MANIFEST_NAME, create=True).append(self.to_bytes())
+
+    @classmethod
+    def load(cls, device: StorageDevice) -> "Manifest":
+        f = device.open(MANIFEST_NAME)
+        return cls.from_bytes(f.read(0, f.size))

@@ -1,0 +1,149 @@
+"""Write buffering: memtables, sorted runs, and the flattened merge.
+
+The paper's driver "buffers at most 16MB of data in memory before writing
+it to storage efficiently" (§V-A), and DeltaFS persists each partition as
+a *flattened* LSM-tree — sorted runs written during the burst, merged into
+one table at finalize time rather than compacted repeatedly (§V-B).
+
+`MemTable` is the bounded in-memory buffer; `RunWriter` spills full
+memtables as sorted runs into a log extent; `flatten_runs` merge-sorts the
+runs into a final `SSTableWriter` — giving the write path real memory
+bounds instead of unbounded Python lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blockio import StorageDevice
+from .sstable import SSTableWriter, TableStats
+
+__all__ = ["MemTable", "RunWriter", "flatten_runs"]
+
+_ENTRY = struct.Struct("<QI")
+
+
+class MemTable:
+    """Bounded in-memory KV buffer.
+
+    ``add`` returns ``True`` while the entry fit under the byte budget;
+    once it returns ``False`` the caller must drain (`sorted_items`) and
+    `reset`.  Sizing counts key + value bytes, like the paper's 16 MB
+    figure.
+    """
+
+    def __init__(self, budget_bytes: int = 16 << 20):
+        if budget_bytes < 64:
+            raise ValueError(f"budget too small: {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._keys: list[int] = []
+        self._values: list[bytes] = []
+        self._bytes = 0
+
+    def add(self, key: int, value: bytes) -> bool:
+        """Buffer one entry; False if the budget is now exhausted."""
+        self._keys.append(int(key))
+        self._values.append(bytes(value))
+        self._bytes += 8 + len(value)
+        return self._bytes < self.budget_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def full(self) -> bool:
+        return self._bytes >= self.budget_bytes
+
+    def sorted_items(self) -> list[tuple[int, bytes]]:
+        """Entries in key order (stable: first write of a key first)."""
+        order = np.argsort(np.asarray(self._keys, dtype=np.uint64), kind="stable")
+        return [(self._keys[i], self._values[i]) for i in order]
+
+    def reset(self) -> None:
+        self._keys.clear()
+        self._values.clear()
+        self._bytes = 0
+
+
+@dataclass(frozen=True)
+class _Run:
+    offset: int
+    length: int
+    nentries: int
+
+
+class RunWriter:
+    """Spills memtables as sorted runs into one log extent."""
+
+    def __init__(self, device: StorageDevice, name: str):
+        self._file = device.open(name, create=True)
+        self.runs: list[_Run] = []
+
+    def spill(self, memtable: MemTable) -> None:
+        """Write the memtable's sorted contents as one run and reset it."""
+        if len(memtable) == 0:
+            return
+        blob = bytearray()
+        n = 0
+        for key, value in memtable.sorted_items():
+            blob += _ENTRY.pack(key, len(value)) + value
+            n += 1
+        offset = self._file.append(bytes(blob))
+        self.runs.append(_Run(offset, len(blob), n))
+        memtable.reset()
+
+    def read_run(self, i: int) -> list[tuple[int, bytes]]:
+        """Load one spilled run back (already key-sorted)."""
+        run = self.runs[i]
+        blob = self._file.read(run.offset, run.length)
+        out = []
+        pos = 0
+        for _ in range(run.nentries):
+            key, vlen = _ENTRY.unpack(blob[pos : pos + _ENTRY.size])
+            pos += _ENTRY.size
+            out.append((key, blob[pos : pos + vlen]))
+            pos += vlen
+        return out
+
+    @property
+    def total_entries(self) -> int:
+        return sum(r.nentries for r in self.runs)
+
+
+def flatten_runs(run_writer: RunWriter, table: SSTableWriter) -> TableStats:
+    """Merge-sort all spilled runs into one final SSTable.
+
+    This is the "flattened LSM-tree" step: a single k-way merge at burst
+    end instead of repeated background compaction.  Stable across runs, so
+    the earliest write of a duplicate key stays first (matching
+    `SSTableReader`'s first-wins lookup).
+    """
+    streams = [iter(run_writer.read_run(i)) for i in range(len(run_writer.runs))]
+    heap: list[tuple[int, int, int, bytes]] = []
+    counters = [0] * len(streams)
+
+    def push(si: int) -> None:
+        item = next(streams[si], None)
+        if item is not None:
+            key, value = item
+            # Tiebreak (run index, within-run position): runs are spilled in
+            # write order, so equal keys keep their original order and the
+            # reader's first-wins semantics see the earliest write.
+            heapq.heappush(heap, (key, si, counters[si], value))
+            counters[si] += 1
+
+    for si in range(len(streams)):
+        push(si)
+    while heap:
+        key, _si, _pos, value = heapq.heappop(heap)
+        table.add(key, value)
+        push(_si)
+    return table.finish()

@@ -1,0 +1,121 @@
+"""Two-tier storage: burst buffer absorbing bursts, draining to the PFS.
+
+The paper's macrobenchmark writes each dump to a burst-buffer allocation;
+the data "is later written to the platform's underlying filesystem" and
+queries run from the filesystem (§V-B).  This model answers the questions
+that setup raises: does the burst buffer absorb a dump without filling?
+How long until the data is queryable on the PFS?  Can the next dump start
+before the previous drain completes?
+
+`TieredStorage.write_burst` advances a simple fluid model: bursts land at
+the BB's ingest bandwidth (or are throttled by remaining capacity), and
+the BB drains continuously to the PFS at the drain bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TierConfig", "BurstReport", "TieredStorage"]
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Bandwidths and capacity of the two-tier stack (bytes, bytes/s)."""
+
+    bb_capacity: float
+    bb_ingest_bandwidth: float
+    drain_bandwidth: float
+
+    def __post_init__(self):
+        if self.bb_capacity <= 0:
+            raise ValueError("bb_capacity must be positive")
+        if self.bb_ingest_bandwidth <= 0 or self.drain_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class BurstReport:
+    """Outcome of one dump burst."""
+
+    t_start: float
+    t_absorbed: float  # burst fully inside the BB
+    t_queryable: float  # burst fully drained to the PFS
+    throttled: bool  # BB filled: ingest fell back to drain speed
+
+    @property
+    def absorb_time(self) -> float:
+        return self.t_absorbed - self.t_start
+
+    @property
+    def drain_lag(self) -> float:
+        """Extra wait between absorbed and queryable."""
+        return self.t_queryable - self.t_absorbed
+
+
+@dataclass
+class TieredStorage:
+    """Fluid model of a burst buffer draining to a parallel filesystem."""
+
+    config: TierConfig
+    now: float = 0.0
+    bb_occupancy: float = 0.0
+    drained_total: float = 0.0
+    reports: list[BurstReport] = field(default_factory=list)
+
+    def _drain(self, dt: float) -> None:
+        removed = min(self.bb_occupancy, self.config.drain_bandwidth * dt)
+        self.bb_occupancy -= removed
+        self.drained_total += removed
+
+    def idle(self, dt: float) -> None:
+        """Advance time with no new writes (compute phase between dumps)."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self._drain(dt)
+        self.now += dt
+
+    def write_burst(self, nbytes: float) -> BurstReport:
+        """Absorb one dump and report when it is queryable."""
+        if nbytes <= 0:
+            raise ValueError("burst must be positive")
+        cfg = self.config
+        t_start = self.now
+        remaining = float(nbytes)
+        throttled = False
+        # Phase 1: ingest at full speed while the BB has headroom.  Net
+        # fill rate is ingest − drain; the BB is full when occupancy hits
+        # capacity, after which ingest proceeds at drain speed.
+        while remaining > 1e-9:
+            headroom = cfg.bb_capacity - self.bb_occupancy
+            net_fill = cfg.bb_ingest_bandwidth - cfg.drain_bandwidth
+            if headroom <= 1e-9 or net_fill <= 0:
+                # Steady state: bounded by the slower of drain/ingest.
+                rate = min(cfg.bb_ingest_bandwidth, cfg.drain_bandwidth)
+                throttled = throttled or headroom <= 1e-9
+                dt = remaining / rate
+                self.now += dt
+                self.drained_total += min(remaining, cfg.drain_bandwidth * dt)
+                remaining = 0.0
+                break
+            dt_fill = headroom / net_fill  # time until BB full
+            dt_burst = remaining / cfg.bb_ingest_bandwidth
+            dt = min(dt_fill, dt_burst)
+            self.now += dt
+            absorbed = cfg.bb_ingest_bandwidth * dt
+            remaining -= absorbed
+            self.bb_occupancy = min(
+                cfg.bb_capacity, self.bb_occupancy + absorbed - cfg.drain_bandwidth * dt
+            )
+            self.drained_total += cfg.drain_bandwidth * dt
+        t_absorbed = self.now
+        # Phase 2: drain whatever is still buffered.
+        drain_time = self.bb_occupancy / cfg.drain_bandwidth
+        t_queryable = t_absorbed + drain_time
+        report = BurstReport(t_start, t_absorbed, t_queryable, throttled)
+        self.reports.append(report)
+        return report
+
+    def queryable_after(self) -> float:
+        """Absolute time at which everything written so far is on the PFS."""
+        return self.now + self.bb_occupancy / self.config.drain_bandwidth

@@ -1,0 +1,18 @@
+"""The calibration audit must stay green: every tuned constant still hits
+the paper anchor it was tuned for."""
+
+from repro.analysis.calibration import audit
+
+
+def test_all_calibration_anchors_hold():
+    checks = audit()
+    assert len(checks) >= 6
+    failures = [str(c) for c in checks if not c.ok]
+    assert not failures, "calibration drifted:\n" + "\n".join(failures)
+
+
+def test_check_formatting():
+    checks = audit()
+    for c in checks:
+        s = str(c)
+        assert c.name in s and ("ok" in s or "OFF" in s)

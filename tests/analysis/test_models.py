@@ -1,0 +1,75 @@
+"""Tests for the closed-form models against Table I and Fig. 7a."""
+
+import pytest
+
+from repro.analysis.models import (
+    TABLE1_MACHINES,
+    bloom_amplification,
+    bloom_bytes_per_key_for_bound,
+    cuckoo_amplification,
+)
+
+
+def test_table1_budgets_close_to_paper():
+    """Our standard Bloom math lands within ~0.2 B of the paper's Table I."""
+    for m in TABLE1_MACHINES:
+        assert m.b2() == pytest.approx(m.paper_b2, abs=0.25), m.name
+        assert m.b10() == pytest.approx(m.paper_b10, abs=0.25), m.name
+
+
+def test_table1_shape():
+    """b10 < b2 (looser bound, fewer bits); bigger machines need more."""
+    for m in TABLE1_MACHINES:
+        assert m.b10() < m.b2()
+    trinity = TABLE1_MACHINES[0]
+    theta = TABLE1_MACHINES[-1]
+    assert trinity.b2() > theta.b2()
+    # All budgets are ~3 bytes — the paper's headline vs 12-byte pointers.
+    assert all(2.0 < m.b2() < 4.0 for m in TABLE1_MACHINES)
+
+
+def test_bound_validation():
+    with pytest.raises(ValueError):
+        bloom_bytes_per_key_for_bound(1000, 1.0)
+    assert bloom_bytes_per_key_for_bound(1, 2) == 0.0
+    assert bloom_bytes_per_key_for_bound(2, 5) == 0.0  # bound already ≥ N
+
+
+def test_bloom_amplification_grows_with_n():
+    """Fig. 7a: with 4+log2(N) bits/key, amplification keeps rising."""
+    import math
+
+    amps = []
+    for q in (10, 14, 18, 22, 24):
+        n = 1 << q
+        amps.append(bloom_amplification(n, 4 + math.log2(n)))
+    assert all(a < b for a, b in zip(amps, amps[1:]))
+    # Paper's Fig. 7a ends around ~25 partitions/query at 16 M.
+    assert 10 < amps[-1] < 40
+
+
+def test_bloom_amplification_1p44_budget_is_bounded():
+    """§IV-C: 4 + 1.44·log2(N) bits/key bounds amplification."""
+    import math
+
+    amps = [bloom_amplification(1 << q, 4 + 1.44 * math.log2(1 << q)) for q in (10, 16, 24)]
+    assert max(amps) - min(amps) < 1.0
+
+
+def test_cuckoo_amplification_near_2():
+    """Fig. 7a: Fmt-Cuckoo sits around 2 partitions/query, flat in N."""
+    a = cuckoo_amplification(fp_bits=4)
+    assert 1.5 < a < 2.5
+
+
+def test_cuckoo_amplification_falls_with_fp_bits():
+    amps = [cuckoo_amplification(b) for b in (2, 4, 8, 12)]
+    assert all(x > y for x, y in zip(amps, amps[1:]))
+    assert amps[-1] < 1.01
+
+
+def test_cuckoo_amplification_validation():
+    with pytest.raises(ValueError):
+        cuckoo_amplification(4, load=1.5)
+    with pytest.raises(ValueError):
+        bloom_amplification(0, 10)

@@ -1,0 +1,45 @@
+"""Unit tests for report rendering."""
+
+from repro.analysis.reporting import banner, format_value, mb, percent, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "val"], [["a", 1], ["bb", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "bb" in lines[3] and "22" in lines[3]
+
+
+def test_render_table_with_title():
+    out = render_table(["x"], [[1]], title="Table I")
+    assert out.startswith("Table I\n")
+
+
+def test_render_empty_rows():
+    out = render_table(["col"], [])
+    assert "col" in out
+
+
+def test_format_value():
+    assert format_value(3.14159) == "3.14"
+    assert format_value(123456.0) == "1.23e+05"
+    assert format_value(0.0001) == "0.0001"
+    assert format_value(0.0) == "0"
+    assert format_value("x") == "x"
+    assert format_value(42) == "42"
+
+
+def test_percent():
+    assert percent(1.016) == "102%"
+    assert percent(0.5) == "50%"
+
+
+def test_mb():
+    assert mb(18_500_000) == "18.5MB"
+
+
+def test_banner():
+    out = banner("hello")
+    assert "hello" in out
+    assert out.count("=") >= 80

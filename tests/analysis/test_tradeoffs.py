@@ -1,0 +1,61 @@
+"""Tests for crossover analysis."""
+
+import pytest
+
+from repro.analysis.tradeoffs import kv_size_crossover, storage_bandwidth_crossover
+from repro.cluster.machines import NARWHAL, TRINITY_KNL
+from repro.core.costmodel import WriteRunConfig, model_write_phase
+from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
+
+
+def test_fig10_crossover_exists_for_dataptr_vs_base():
+    """Fig. 10a: base beats DataPtr at low storage bandwidth, loses at
+    high — so a crossover bandwidth must exist, and the model must agree
+    on both sides of it."""
+    bw = storage_bandwidth_crossover(
+        FMT_DATAPTR, FMT_BASE, TRINITY_KNL, nprocs=4096, kv_bytes=64, data_per_proc=488e6
+    )
+    assert bw is not None
+    lo_m = TRINITY_KNL.with_storage_bandwidth(bw / 4)
+    hi_m = TRINITY_KNL.with_storage_bandwidth(bw * 4)
+
+    def s(fmt, m):
+        return model_write_phase(
+            WriteRunConfig(fmt=fmt, machine=m, nprocs=4096, kv_bytes=64, data_per_proc=488e6)
+        ).slowdown
+
+    assert s(FMT_DATAPTR, lo_m) > s(FMT_BASE, lo_m)  # base wins when slow
+    assert s(FMT_DATAPTR, hi_m) < s(FMT_BASE, hi_m)  # dataptr wins when fast
+
+
+def test_filterkv_dominates_dataptr_everywhere():
+    """FilterKV writes less and ships less than DataPtr — no crossover."""
+    bw = storage_bandwidth_crossover(
+        FMT_FILTERKV, FMT_DATAPTR, TRINITY_KNL, nprocs=4096, kv_bytes=64, data_per_proc=488e6
+    )
+    assert bw is None
+
+
+def test_fig9_kv_crossover_dataptr_vs_base():
+    """Fig. 9: DataPtr loses to base at 16 B KV pairs and wins by 32 B —
+    the crossover sits between."""
+    kv = kv_size_crossover(
+        FMT_DATAPTR, FMT_BASE, NARWHAL, nprocs=256, data_per_proc=960e6, residual_fraction=0.5
+    )
+    assert kv is not None
+    assert 16 < kv <= 48
+
+
+def test_filterkv_wins_at_smallest_kv():
+    kv = kv_size_crossover(
+        FMT_FILTERKV, FMT_BASE, NARWHAL, nprocs=256, data_per_proc=960e6, residual_fraction=0.5
+    )
+    assert kv == 9  # winning from the smallest legal record up
+
+
+def test_no_crossover_returns_none_for_kv():
+    # Base never overtakes FilterKV as KV size grows on this machine.
+    kv = kv_size_crossover(
+        FMT_BASE, FMT_FILTERKV, NARWHAL, nprocs=256, data_per_proc=960e6, residual_fraction=0.5
+    )
+    assert kv is None

@@ -1,0 +1,55 @@
+"""Unit tests for synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.workloads import (
+    microbench_stream,
+    sequential_batches,
+    uniform_batches,
+    zipf_batches,
+)
+
+
+def test_uniform_batches_shapes_and_determinism():
+    a = list(uniform_batches(3, 100, 24, seed=1))
+    b = list(uniform_batches(3, 100, 24, seed=1))
+    assert len(a) == 3
+    for x, y in zip(a, b):
+        assert len(x) == 100 and x.value_bytes == 24
+        assert np.array_equal(x.keys, y.keys)
+
+
+def test_uniform_batches_differ_across_stream():
+    a, b, c = uniform_batches(3, 50, 8, seed=2)
+    assert not np.array_equal(a.keys, b.keys)
+    assert not np.array_equal(b.keys, c.keys)
+
+
+def test_zipf_skew_creates_duplicates():
+    (batch,) = zipf_batches(1, 20_000, 8, a=1.2, seed=3)
+    nunique = len(np.unique(batch.keys))
+    assert nunique < 0.7 * len(batch)  # heavy repetition
+
+
+def test_zipf_validates_exponent():
+    with pytest.raises(ValueError):
+        list(zipf_batches(1, 10, 8, a=1.0))
+
+
+def test_sequential_batches_are_monotone():
+    batches = list(sequential_batches(3, 100, 8, start=1000))
+    keys = np.concatenate([b.keys for b in batches])
+    assert np.array_equal(keys, np.arange(1000, 1300, dtype=np.uint64))
+
+
+def test_microbench_stream_total_records():
+    batches = list(microbench_stream(rank=2, records=10_000, value_bytes=56, batch_records=4096))
+    assert sum(len(b) for b in batches) == 10_000
+    assert [len(b) for b in batches] == [4096, 4096, 1808]
+
+
+def test_microbench_stream_rank_independence():
+    a = next(iter(microbench_stream(0, 100, 8, seed=1)))
+    b = next(iter(microbench_stream(1, 100, 8, seed=1)))
+    assert not np.array_equal(a.keys, b.keys)

@@ -1,0 +1,61 @@
+"""Unit tests for machine configs and burst-buffer allocations."""
+
+import pytest
+
+from repro.cluster.burstbuffer import FIG10_RATIOS, BurstBufferAllocation
+from repro.cluster.machines import MACHINES, NARWHAL, TRINITY_HASWELL, TRINITY_KNL
+
+
+def test_machine_inventory():
+    assert {"narwhal", "trinity-haswell", "trinity-knl", "theta-knl"} <= set(MACHINES)
+
+
+def test_narwhal_matches_paper():
+    assert NARWHAL.ppn == 4  # 4 CPU cores per node (§V-A)
+    assert NARWHAL.transport.link_bandwidth_gbps == 1.0  # 1000 Mbps NIC
+    assert NARWHAL.nnodes_for(640) == 160  # 640 procs on 160 nodes
+
+
+def test_trinity_partitions_match_paper():
+    assert TRINITY_HASWELL.cpu.cores_per_node == 32
+    assert TRINITY_KNL.cpu.cores_per_node == 68
+    assert TRINITY_KNL.cpu.slowdown > TRINITY_HASWELL.cpu.slowdown
+
+
+def test_with_transport_swaps_only_transport():
+    tcp = TRINITY_KNL.with_transport("tcp")
+    assert tcp.transport.name == "tcp"
+    assert tcp.cpu == TRINITY_KNL.cpu
+    assert "tcp" in tcp.name
+
+
+def test_with_storage_bandwidth():
+    m = NARWHAL.with_storage_bandwidth(42.0)
+    assert m.storage_bw_per_node == 42.0
+    assert m.name == NARWHAL.name
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        NARWHAL.with_storage_bandwidth(0)
+
+
+def test_bb_allocation_matches_fig10_axis():
+    """32:1 → ~11 GB/s, 12:1 → ~28-29 GB/s at 64 compute nodes (Fig. 10)."""
+    expected = {32.0: 11e9, 20.0: 17.6e9, 16.0: 22e9, 12.0: 29.3e9}
+    for ratio in FIG10_RATIOS:
+        alloc = BurstBufferAllocation(compute_nodes=64, ratio=ratio)
+        assert alloc.aggregate_bandwidth == pytest.approx(expected[ratio], rel=0.02)
+
+
+def test_bb_per_node_bandwidth():
+    alloc = BurstBufferAllocation(compute_nodes=64, ratio=32.0)
+    assert alloc.bandwidth_per_compute_node == pytest.approx(11e9 / 64, rel=0.01)
+    assert alloc.bb_nodes == 2.0
+
+
+def test_bb_validation():
+    with pytest.raises(ValueError):
+        BurstBufferAllocation(compute_nodes=0, ratio=32)
+    with pytest.raises(ValueError):
+        BurstBufferAllocation(compute_nodes=64, ratio=0)

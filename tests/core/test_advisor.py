@@ -1,0 +1,51 @@
+"""Tests for the format advisor."""
+
+import pytest
+
+from repro.cluster.machines import NARWHAL, TRINITY_KNL
+from repro.core.advisor import recommend_format
+
+
+def test_large_job_small_kv_wants_filterkv():
+    """The paper's sweet spot: many processes, tiny records, slow network."""
+    advice = recommend_format(
+        NARWHAL, nprocs=640, kv_bytes=64, data_per_proc=960e6, residual_fraction=0.5
+    )
+    assert advice.recommended == "filterkv"
+    assert advice.write_slowdowns["filterkv"] < advice.write_slowdowns["dataptr"]
+
+
+def test_read_heavy_workload_shifts_away_from_filterkv():
+    """With reads dominating, FilterKV's amplification costs points."""
+    kw = dict(nprocs=64, kv_bytes=192, data_per_proc=960e6, residual_fraction=0.75)
+    write_only = recommend_format(NARWHAL, read_weight=0.0, **kw)
+    read_heavy = recommend_format(NARWHAL, read_weight=1.0, **kw)
+    assert write_only.scores["filterkv"] < write_only.scores["dataptr"]
+    # Ordering flips (or at least tightens) once reads matter.
+    gap_before = write_only.scores["dataptr"] - write_only.scores["filterkv"]
+    gap_after = read_heavy.scores["dataptr"] - read_heavy.scores["filterkv"]
+    assert gap_after < gap_before
+
+
+def test_storage_bound_job_keeps_base_competitive():
+    """Low storage bandwidth: base writes the least data (Fig. 10a left)."""
+    advice = recommend_format(
+        TRINITY_KNL.with_storage_bandwidth(11e9 / 64),
+        nprocs=4096,
+        kv_bytes=64,
+        data_per_proc=488e6,
+    )
+    assert advice.write_slowdowns["base"] < advice.write_slowdowns["dataptr"]
+
+
+def test_scores_are_consistent():
+    advice = recommend_format(NARWHAL, nprocs=128, kv_bytes=64, data_per_proc=1e8)
+    assert advice.recommended == min(advice.scores, key=advice.scores.get)
+    assert set(advice.scores) == {"base", "dataptr", "filterkv"}
+    text = advice.explain()
+    assert "recommended format" in text and advice.recommended in text
+
+
+def test_read_weight_validated():
+    with pytest.raises(ValueError):
+        recommend_format(NARWHAL, 64, 64, 1e8, read_weight=2.0)

@@ -1,0 +1,77 @@
+"""Tests for the warm-cache query engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import FMT_BASE, FMT_FILTERKV
+from repro.core.kv import random_kv_batch
+from repro.core.reader import CachedQueryEngine
+
+
+def _dataset(fmt, nranks=6, records=1500):
+    cluster = SimCluster(
+        nranks=nranks, fmt=fmt, value_bytes=24, records_hint=nranks * records, seed=9
+    )
+    batches = [random_kv_batch(records, 24, np.random.default_rng(50 + r)) for r in range(nranks)]
+    for rank, b in enumerate(batches):
+        cluster.put(rank, b)
+    cluster.finish_epoch()
+    return cluster, batches
+
+
+def _cached(cluster):
+    cold = cluster.query_engine()
+    return CachedQueryEngine(
+        device=cold.device,
+        fmt=cold.fmt,
+        nranks=cold.nranks,
+        partitioner=cold.partitioner,
+        aux_tables=cold.aux_tables,
+        epoch=cold.epoch,
+    )
+
+
+@pytest.mark.parametrize("fmt", [FMT_BASE, FMT_FILTERKV], ids=lambda f: f.name)
+def test_same_answers_as_cold_engine(fmt):
+    cluster, batches = _dataset(fmt)
+    cold = cluster.query_engine()
+    warm = _cached(cluster)
+    for i in range(0, 1500, 131):
+        key = int(batches[2].keys[i])
+        v_cold, _ = cold.get(key)
+        v_warm, _ = warm.get(key)
+        assert v_cold == v_warm == batches[2].value_of(i)
+
+
+def test_second_query_to_same_partition_is_cheaper():
+    cluster, batches = _dataset(FMT_BASE)
+    warm = _cached(cluster)
+    # Two keys owned by the same partition.
+    owner = cluster.partitioner.partition_of(batches[0].keys)
+    same = np.nonzero(owner == owner[0])[0]
+    assert same.size >= 2
+    _, first = warm.get(int(batches[0].keys[same[0]]))
+    _, second = warm.get(int(batches[0].keys[same[1]]))
+    assert second.reads < first.reads
+    assert second.breakdown_reads.get("footer", 0) == 0  # table already open
+
+
+def test_filterkv_aux_read_amortized():
+    cluster, batches = _dataset(FMT_FILTERKV)
+    warm = _cached(cluster)
+    owner = cluster.partitioner.partition_of(batches[0].keys)
+    same = np.nonzero(owner == owner[0])[0][:3]
+    stats = [warm.get(int(batches[0].keys[i]))[1] for i in same]
+    assert stats[0].breakdown_reads.get("aux") == 1
+    assert all(s.breakdown_reads.get("aux", 0) == 0 for s in stats[1:])
+
+
+def test_warm_total_cost_below_cold():
+    cluster, batches = _dataset(FMT_FILTERKV)
+    cold = cluster.query_engine()
+    warm = _cached(cluster)
+    keys = [int(batches[r % 6].keys[r * 37]) for r in range(30)]
+    cold_reads = sum(cold.get(k)[1].reads for k in keys)
+    warm_reads = sum(warm.get(k)[1].reads for k in keys)
+    assert warm_reads < 0.6 * cold_reads

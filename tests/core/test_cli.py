@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "FilterKV" in out and "CLUSTER 2019" in out
+
+
+def test_machines(capsys):
+    main(["machines"])
+    out = capsys.readouterr().out
+    assert "narwhal" in out and "trinity-knl" in out
+
+
+def test_table1(capsys):
+    main(["table1"])
+    out = capsys.readouterr().out
+    assert "Trinity" in out and "b2" in out
+
+
+def test_compare(capsys):
+    main(["compare", "--ranks", "4", "--records", "500", "--value-bytes", "24"])
+    out = capsys.readouterr().out
+    assert "filterkv" in out and "dataptr" in out and "base" in out
+    assert "net B/rec" in out
+
+
+def test_advise(capsys):
+    main(["advise", "--machine", "narwhal", "--procs", "256"])
+    out = capsys.readouterr().out
+    assert "recommended format" in out
+
+
+def test_advise_unknown_machine():
+    with pytest.raises(SystemExit):
+        main(["advise", "--machine", "bluegene"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,140 @@
+"""Tests for the write-phase cost model against the paper's claims."""
+
+import pytest
+
+from repro.cluster.machines import NARWHAL, TRINITY_KNL
+from repro.core.costmodel import WriteRunConfig, WritePhaseResult, model_write_phase
+from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
+
+
+def narwhal_cfg(fmt, nprocs=256, kv=64, resid=0.5):
+    return WriteRunConfig(
+        fmt=fmt,
+        machine=NARWHAL,
+        nprocs=nprocs,
+        kv_bytes=kv,
+        data_per_proc=960e6,
+        residual_fraction=resid,
+    )
+
+
+def test_slowdown_ordering_fig8():
+    """Fig. 8: FilterKV < DataPtr < Base at every job size."""
+    for nprocs in (64, 128, 256, 384, 512, 640):
+        s = {
+            f.name: model_write_phase(narwhal_cfg(f, nprocs)).slowdown
+            for f in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV)
+        }
+        assert s["filterkv"] < s["dataptr"] < s["base"]
+
+
+def test_base_slowdown_grows_steeply_with_job_size():
+    small = model_write_phase(narwhal_cfg(FMT_BASE, 64)).slowdown
+    big = model_write_phase(narwhal_cfg(FMT_BASE, 640)).slowdown
+    assert big > 4 * small
+    assert big > 5.0  # several-hundred-percent territory (Fig. 8b)
+
+
+def test_higher_residual_bandwidth_helps():
+    """Fig. 8b vs 8c: more residual bandwidth, less slowdown."""
+    for f in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV):
+        lo = model_write_phase(narwhal_cfg(f, 256, resid=0.5)).slowdown
+        hi = model_write_phase(narwhal_cfg(f, 256, resid=0.75)).slowdown
+        assert hi <= lo + 1e-9
+
+
+def test_kv_size_sweep_fig9():
+    """Fig. 9: indirection formats improve as KV size grows; base doesn't."""
+    base = [model_write_phase(narwhal_cfg(FMT_BASE, kv=k)).slowdown for k in (16, 64, 192)]
+    dptr = [model_write_phase(narwhal_cfg(FMT_DATAPTR, kv=k)).slowdown for k in (16, 64, 192)]
+    fkv = [model_write_phase(narwhal_cfg(FMT_FILTERKV, kv=k)).slowdown for k in (16, 64, 192)]
+    assert abs(base[0] - base[-1]) / max(base) < 0.2  # base ~flat
+    assert dptr[0] > dptr[-1]  # indirection overhead shrinks with KV size
+    assert fkv[0] > fkv[-1]
+    assert all(f < d for f, d in zip(fkv, dptr))
+
+
+def test_rpc_message_counts_ordering_fig8a():
+    msgs = {
+        f.name: model_write_phase(narwhal_cfg(f, 640)).rpc_messages_total
+        for f in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV)
+    }
+    assert msgs["filterkv"] < msgs["dataptr"] < msgs["base"]
+    # Base ships ~64 B/record → ~(960 MB × 639/640)/16 KB messages per proc.
+    assert msgs["base"] == pytest.approx(640 * 960e6 * (639 / 640) / 16384, rel=0.02)
+
+
+def test_trinity_storage_bandwidth_effect_fig10():
+    """Fig. 10a: higher storage bandwidth → partitioning overhead matters
+    more; FilterKV stays closest to plain writes."""
+    slow = {}
+    for bw_per_node in (11e9 / 64, 28e9 / 64):
+        for f in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV):
+            cfg = WriteRunConfig(
+                fmt=f,
+                machine=TRINITY_KNL.with_storage_bandwidth(bw_per_node),
+                nprocs=4096,
+                kv_bytes=64,
+                data_per_proc=488e6,
+            )
+            slow[(bw_per_node, f.name)] = model_write_phase(cfg).slowdown
+    hi, lo = 28e9 / 64, 11e9 / 64
+    # All formats hurt more at higher storage bandwidth.
+    for f in ("base", "dataptr", "filterkv"):
+        assert slow[(hi, f)] > slow[(lo, f)]
+    # At high bandwidth FilterKV wins big (paper: 3.3× vs base, 2.8× vs SoA).
+    assert slow[(hi, "base")] / slow[(hi, "filterkv")] > 2.0
+    assert slow[(hi, "dataptr")] / slow[(hi, "filterkv")] > 1.5
+    # At low bandwidth DataPtr is the worst (writes the most data).
+    assert slow[(lo, "dataptr")] > slow[(lo, "base")]
+    assert slow[(lo, "dataptr")] > 1.5 * slow[(lo, "filterkv")]
+
+
+def test_tcp_vs_gni_fig10b():
+    """Fig. 10b: FilterKV on TCP ≈ FilterKV on GNI (network barely matters)."""
+    out = {}
+    for transport in ("gni", "tcp"):
+        cfg = WriteRunConfig(
+            fmt=FMT_FILTERKV,
+            machine=TRINITY_KNL.with_transport(transport).with_storage_bandwidth(28e9 / 64),
+            nprocs=4096,
+            kv_bytes=64,
+            data_per_proc=488e6,
+        )
+        out[transport] = model_write_phase(cfg).slowdown
+    assert out["tcp"] == pytest.approx(out["gni"], rel=0.35, abs=0.1)
+    # The same swap hurts the base format much more.
+    base = {}
+    for transport in ("gni", "tcp"):
+        cfg = WriteRunConfig(
+            fmt=FMT_BASE,
+            machine=TRINITY_KNL.with_transport(transport).with_storage_bandwidth(28e9 / 64),
+            nprocs=4096,
+            kv_bytes=64,
+            data_per_proc=488e6,
+        )
+        base[transport] = model_write_phase(cfg).slowdown
+    assert base["tcp"] - base["gni"] > out["tcp"] - out["gni"]
+
+
+def test_result_components():
+    r = model_write_phase(narwhal_cfg(FMT_BASE))
+    assert isinstance(r, WritePhaseResult)
+    assert r.t_run == pytest.approx(max(r.t_storage, r.t_shuffle) + r.t_cpu)
+    assert r.bottleneck in ("storage", "network")
+    assert r.shuffle_bytes_total > 0 and r.storage_bytes_total > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        narwhal_cfg(FMT_BASE, nprocs=1)
+    with pytest.raises(ValueError):
+        WriteRunConfig(FMT_BASE, NARWHAL, 4, kv_bytes=8, data_per_proc=1e6)
+    with pytest.raises(ValueError):
+        WriteRunConfig(FMT_BASE, NARWHAL, 4, kv_bytes=64, data_per_proc=0)
+    with pytest.raises(ValueError):
+        WriteRunConfig(FMT_BASE, NARWHAL, 4, kv_bytes=64, data_per_proc=1e6, batch_bytes=1)
+    with pytest.raises(ValueError):
+        WriteRunConfig(
+            FMT_BASE, NARWHAL, 4, kv_bytes=64, data_per_proc=1e6, residual_fraction=1.5
+        )

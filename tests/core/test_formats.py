@@ -1,0 +1,77 @@
+"""Unit tests for format byte accounting (the paper's Fig. 3 table)."""
+
+import pytest
+
+from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV, FORMATS
+
+
+V = 56  # 64-byte KV pairs, the paper's staple
+N = 4096
+
+
+def test_registry():
+    assert set(FORMATS) == {"base", "dataptr", "filterkv"}
+
+
+def test_base_accounting():
+    assert FMT_BASE.shuffle_bytes_per_record(V, N) == 64
+    assert FMT_BASE.local_bytes_per_record(V, N) == 0
+    assert FMT_BASE.remote_bytes_per_record(V, N) == 64
+    assert FMT_BASE.index_bytes_per_key(N) == 0
+    assert FMT_BASE.storage_blowup(V, N) == 1.0
+
+
+def test_dataptr_accounting():
+    # Ships key + 8-byte offset; stores value locally plus key + 12-byte
+    # pointer remotely (§III-B/C).
+    assert FMT_DATAPTR.shuffle_bytes_per_record(V, N) == 16
+    assert FMT_DATAPTR.local_bytes_per_record(V, N) == 56
+    assert FMT_DATAPTR.remote_bytes_per_record(V, N) == 20
+    assert FMT_DATAPTR.index_bytes_per_key(N) == 12
+    assert FMT_DATAPTR.storage_blowup(V, N) == pytest.approx(76 / 64)
+
+
+def test_filterkv_accounting():
+    assert FMT_FILTERKV.shuffle_bytes_per_record(V, N) == 8
+    assert FMT_FILTERKV.local_bytes_per_record(V, N) == 64
+    # 4-bit fingerprint + 12 rank bits at 95 % utilization ≈ 2.1 B.
+    assert FMT_FILTERKV.remote_bytes_per_record(V, N) == pytest.approx(2.105, abs=0.01)
+    assert FMT_FILTERKV.storage_blowup(V, N) == pytest.approx(66.1 / 64, abs=0.01)
+
+
+def test_shuffle_ordering_is_the_paper_headline():
+    """FilterKV < DataPtr < Base on the network, for every KV size."""
+    for v in (8, 24, 56, 184):
+        b = FMT_BASE.shuffle_bytes_per_record(v, N)
+        d = FMT_DATAPTR.shuffle_bytes_per_record(v, N)
+        f = FMT_FILTERKV.shuffle_bytes_per_record(v, N)
+        assert f < d <= b or (v <= 8 and f < d)
+
+
+def test_storage_ordering_flips():
+    """On storage, Base is leanest; DataPtr pays the most (§V-A)."""
+    for v in (24, 56, 184):
+        b = FMT_BASE.storage_bytes_per_record(v, N)
+        d = FMT_DATAPTR.storage_bytes_per_record(v, N)
+        f = FMT_FILTERKV.storage_bytes_per_record(v, N)
+        assert b < f < d
+
+
+def test_index_overhead_vs_paper_fig7b():
+    """FilterKV ≈ 1.5–3.5 B/key across 1 K–16 M partitions vs 12 B."""
+    for nparts, lo, hi in ((1 << 10, 1.5, 2.0), (1 << 20, 2.5, 3.5), (16_000_000, 3.2, 4.0)):
+        x = FMT_FILTERKV.index_bytes_per_key(nparts)
+        assert lo < x < hi
+        assert FMT_DATAPTR.index_bytes_per_key(nparts) == 12
+
+
+def test_index_overhead_grows_logarithmically():
+    xs = [FMT_FILTERKV.index_bytes_per_key(1 << q) for q in range(10, 25, 2)]
+    deltas = [b - a for a, b in zip(xs, xs[1:])]
+    assert all(d == pytest.approx(2 / 8 / 0.95, abs=1e-6) for d in deltas)
+
+
+def test_cpu_cost_ordering():
+    """DataPtr does the most per-record work; FilterKV the least."""
+    assert FMT_FILTERKV.per_record_cpu_us < FMT_BASE.per_record_cpu_us
+    assert FMT_BASE.per_record_cpu_us < FMT_DATAPTR.per_record_cpu_us

@@ -1,0 +1,89 @@
+"""Tests for the indexed-massive-directory facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.formats import FMT_BASE, FMT_FILTERKV
+from repro.core.imd import IndexedDirectory
+from repro.core.kv import random_kv_batch
+
+
+def test_append_epoch_read():
+    d = IndexedDirectory(nranks=4, value_bytes=8)
+    d.append(0, 101, b"value--1")
+    d.append(1, 202, b"value--2")
+    d.append(3, 303, b"value--3")
+    stats = d.end_epoch()
+    assert stats.records == 3
+    v, qs = d.read(202, epoch=0)
+    assert qs.found and v == b"value--2"
+
+
+def test_appends_isolated_per_epoch():
+    d = IndexedDirectory(nranks=2, value_bytes=4)
+    d.append(0, 7, b"aaaa")
+    d.end_epoch()
+    d.append(1, 7, b"bbbb")
+    d.end_epoch()
+    assert d.read(7, 0)[0] == b"aaaa"
+    assert d.read(7, 1)[0] == b"bbbb"
+    traj = d.read_all_epochs(7)
+    assert [v for _, v, _ in traj] == [b"aaaa", b"bbbb"]
+
+
+def test_append_batch_fast_path():
+    d = IndexedDirectory(nranks=4, value_bytes=16, fmt=FMT_BASE)
+    batch = random_kv_batch(500, 16, rng=1)
+    d.append_batch(2, batch)
+    assert d.pending_records == 500
+    d.end_epoch()
+    for i in (0, 99, 499):
+        v, qs = d.read(int(batch.keys[i]), 0)
+        assert qs.found and v == batch.value_of(i)
+
+
+def test_value_width_enforced():
+    d = IndexedDirectory(nranks=2, value_bytes=8)
+    with pytest.raises(ValueError):
+        d.append(0, 1, b"short")
+    with pytest.raises(ValueError):
+        d.append_batch(0, random_kv_batch(3, 4))
+
+
+def test_rank_validated():
+    d = IndexedDirectory(nranks=2, value_bytes=4)
+    with pytest.raises(ValueError):
+        d.append(2, 1, b"xxxx")
+    with pytest.raises(ValueError):
+        d.append(-1, 1, b"xxxx")
+
+
+def test_empty_epoch_rejected():
+    d = IndexedDirectory(nranks=2, value_bytes=4)
+    with pytest.raises(ValueError):
+        d.end_epoch()
+
+
+def test_some_ranks_silent_is_fine():
+    d = IndexedDirectory(nranks=4, value_bytes=4)
+    d.append(1, 5, b"only")
+    stats = d.end_epoch()
+    assert stats.records == 1
+    assert d.read(5, 0)[0] == b"only"
+
+
+def test_describe_and_epochs():
+    d = IndexedDirectory(nranks=2, value_bytes=4, fmt=FMT_FILTERKV)
+    d.append(0, 9, b"zzzz")
+    d.end_epoch()
+    assert d.epochs == [0]
+    assert "filterkv" in d.describe()
+
+
+def test_zero_width_values():
+    """Pure-key directories (membership datasets) are legal."""
+    d = IndexedDirectory(nranks=2, value_bytes=0)
+    d.append(0, 77, b"")
+    d.end_epoch()
+    v, qs = d.read(77, 0)
+    assert qs.found and v == b""

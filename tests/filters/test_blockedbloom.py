@@ -1,0 +1,69 @@
+"""Unit tests for the blocked Bloom filter."""
+
+import numpy as np
+import pytest
+
+from repro.filters.blockedbloom import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+
+
+def _rand(n, seed=0, lo=0, hi=2**62):
+    return np.random.default_rng(seed).integers(lo, hi, size=n, dtype=np.uint64)
+
+
+def test_no_false_negatives():
+    keys = _rand(50_000, seed=1)
+    f = BlockedBloomFilter.from_bits_per_key(keys.size, 10)
+    f.add_many(keys)
+    assert f.contains_many(keys).all()
+
+
+def test_fpr_worse_than_standard_but_same_ballpark():
+    """Blocking costs some fpr (uneven block loading) at equal bits/key."""
+    keys = _rand(100_000, seed=2)
+    probes = _rand(200_000, seed=3, lo=2**62, hi=2**63)
+    blocked = BlockedBloomFilter.from_bits_per_key(keys.size, 10, seed=5)
+    plain = BloomFilter.from_bits_per_key(keys.size, 10, seed=5)
+    blocked.add_many(keys)
+    plain.add_many(keys)
+    fpr_blocked = blocked.contains_many(probes).mean()
+    fpr_plain = plain.contains_many(probes).mean()
+    assert fpr_plain < fpr_blocked < 8 * fpr_plain
+    assert fpr_blocked < 0.02
+
+
+def test_single_item_api():
+    f = BlockedBloomFilter(16, 6)
+    assert 42 not in f
+    f.add(42)
+    assert 42 in f
+    assert len(f) == 1
+
+
+def test_empty_batches():
+    f = BlockedBloomFilter(4, 3)
+    f.add_many(np.zeros(0, dtype=np.uint64))
+    assert f.contains_many(np.zeros(0, dtype=np.uint64)).shape == (0,)
+
+
+def test_size_accounting():
+    f = BlockedBloomFilter(10, 4)
+    assert f.size_bytes == 10 * 64
+    assert f.cache_lines_per_query == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BlockedBloomFilter(0, 3)
+    with pytest.raises(ValueError):
+        BlockedBloomFilter(4, 0)
+    with pytest.raises(ValueError):
+        BlockedBloomFilter.from_bits_per_key(0, 8)
+
+
+def test_probes_confined_to_one_block():
+    f = BlockedBloomFilter(64, 8, seed=9)
+    keys = _rand(1000, seed=4)
+    words, _ = f._positions(keys)
+    blocks = words // 8
+    assert (blocks == blocks[:, :1]).all()  # every probe in the key's block

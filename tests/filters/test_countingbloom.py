@@ -1,0 +1,111 @@
+"""Unit tests for the counting Bloom filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.countingbloom import CountingBloomFilter
+
+
+def _rand(n, seed=0, lo=0, hi=2**62):
+    return np.random.default_rng(seed).integers(lo, hi, size=n, dtype=np.uint64)
+
+
+def test_no_false_negatives():
+    keys = _rand(20_000, seed=1)
+    f = CountingBloomFilter.from_slots_per_key(keys.size, 10)
+    f.add_many(keys)
+    assert f.contains_many(keys).all()
+
+
+def test_remove_restores_absence():
+    f = CountingBloomFilter(1024, 4)
+    f.add(42)
+    assert 42 in f
+    assert f.remove(42)
+    assert 42 not in f
+    assert len(f) == 0
+
+
+def test_remove_absent_is_noop():
+    f = CountingBloomFilter(1024, 4)
+    f.add(1)
+    before = f._counts.copy()
+    assert not f.remove(999_999)
+    assert np.array_equal(f._counts, before)
+
+
+def test_duplicates_counted():
+    f = CountingBloomFilter(1024, 4)
+    f.add(7)
+    f.add(7)
+    assert f.remove(7)
+    assert 7 in f  # one copy remains
+    assert f.remove(7)
+    assert 7 not in f
+
+
+def test_removal_does_not_hurt_other_keys():
+    keys = _rand(5_000, seed=2)
+    f = CountingBloomFilter.from_slots_per_key(keys.size, 12)
+    f.add_many(keys)
+    for k in keys[:500]:
+        f.remove(int(k))
+    assert f.contains_many(keys[500:]).all()  # survivors intact
+
+
+def test_fpr_comparable_to_plain_bloom():
+    keys = _rand(30_000, seed=3)
+    probes = _rand(100_000, seed=4, lo=2**62, hi=2**63)
+    f = CountingBloomFilter.from_slots_per_key(keys.size, 10)
+    f.add_many(keys)
+    assert f.contains_many(probes).mean() < 0.02
+
+
+def test_bulk_add_matches_scalar():
+    keys = _rand(300, seed=5)
+    a = CountingBloomFilter(4096, 5, seed=1)
+    b = CountingBloomFilter(4096, 5, seed=1)
+    a.add_many(keys)
+    for k in keys:
+        b.add(int(k))
+    assert np.array_equal(a._counts, b._counts)
+
+
+def test_size_is_4x_bloom():
+    # One byte per slot vs one bit: the cost of deletion.
+    f = CountingBloomFilter(8000, 4)
+    assert f.size_bytes == 8000
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CountingBloomFilter(0, 4)
+    with pytest.raises(ValueError):
+        CountingBloomFilter(8, 0)
+    with pytest.raises(ValueError):
+        CountingBloomFilter.from_slots_per_key(0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=30)),
+        min_size=1,
+        max_size=120,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_multiset_reference_property(ops):
+    f = CountingBloomFilter(2048, 4)
+    ref: dict[int, int] = {}
+    for is_add, key in ops:
+        if is_add:
+            f.add(key)
+            ref[key] = ref.get(key, 0) + 1
+        elif ref.get(key, 0) > 0:
+            assert f.remove(key)
+            ref[key] -= 1
+    for key, count in ref.items():
+        if count > 0:
+            assert key in f

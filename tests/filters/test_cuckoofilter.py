@@ -1,0 +1,56 @@
+"""Unit tests for the standard (membership) cuckoo filter."""
+
+import numpy as np
+import pytest
+
+from repro.filters.cuckoofilter import CuckooFilter
+
+
+def _rand_keys(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 2**63, size=n, dtype=np.uint64)
+
+
+def test_no_false_negatives():
+    keys = _rand_keys(10_000, seed=1)
+    f = CuckooFilter(int(keys.size * 1.1), fp_bits=12)
+    ok = f.add_many(keys)
+    assert ok.all()
+    assert f.contains_many(keys).all()
+
+
+def test_fpr_tracks_fingerprint_width():
+    keys = _rand_keys(20_000, seed=2)
+    probes = _rand_keys(50_000, seed=3)
+    for bits in (8, 12, 16):
+        f = CuckooFilter(int(keys.size * 1.1), fp_bits=bits, seed=bits)
+        f.add_many(keys)
+        measured = f.contains_many(probes).mean()
+        assert measured == pytest.approx(f.expected_fpr(), rel=0.5, abs=2e-4)
+
+
+def test_delete_then_absent():
+    f = CuckooFilter(100, fp_bits=16)
+    f.add(12345)
+    assert 12345 in f
+    assert f.delete(12345)
+    assert 12345 not in f
+    assert len(f) == 0
+
+
+def test_load_factor_reaches_95_percent():
+    f = CuckooFilter(4096, fp_bits=12, seed=4)
+    keys = _rand_keys(4096, seed=4)
+    ok = f.add_many(keys)
+    assert ok.mean() > 0.9
+    assert f.load_factor == pytest.approx(ok.mean(), abs=0.05)
+
+
+def test_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        CuckooFilter(0)
+
+
+def test_size_bytes_scales_with_fp_bits():
+    small = CuckooFilter(1000, fp_bits=4).size_bytes
+    large = CuckooFilter(1000, fp_bits=16).size_bytes
+    assert large > small

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the filter substrate.
+
+Invariants:
+
+* no filter ever produces a false negative;
+* cuckoo tables preserve multiset semantics under insert/delete;
+* the chained table finds every inserted (key, value) pair regardless of
+  insertion order, chunking, or duplicate keys;
+* serialization round-trips preserve query behaviour.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import ChainedCuckooTable, PartialKeyCuckooTable
+from repro.filters.cuckoofilter import CuckooFilter
+from repro.filters.quotient import QuotientFilter
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**63 - 1), min_size=1, max_size=300
+)
+
+
+@given(keys=keys_strategy, bpk=st.integers(min_value=4, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_bloom_never_false_negative(keys, bpk):
+    arr = np.asarray(keys, dtype=np.uint64)
+    f = BloomFilter.from_bits_per_key(len(keys), bpk)
+    f.add_many(arr)
+    assert f.contains_many(arr).all()
+
+
+@given(keys=keys_strategy, seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_bloom_serialization_preserves_answers(keys, seed):
+    arr = np.asarray(keys, dtype=np.uint64)
+    f = BloomFilter.from_bits_per_key(len(keys), 12, seed=seed)
+    f.add_many(arr)
+    g = BloomFilter.from_bytes(f.to_bytes(), f.nhashes, seed=seed)
+    probes = np.arange(500, dtype=np.uint64)
+    assert np.array_equal(f.contains_many(probes), g.contains_many(probes))
+    assert g.contains_many(arr).all()
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=2**63 - 1), min_size=1, max_size=200, unique=True
+    ),
+    fp_bits=st.integers(min_value=4, max_value=16),
+)
+@settings(max_examples=40, deadline=None)
+def test_cuckoo_finds_all_inserted_values(keys, fp_bits):
+    arr = np.asarray(keys, dtype=np.uint64)
+    vals = (arr % np.uint64(251)).astype(np.uint32)
+    t = ChainedCuckooTable(fp_bits=fp_bits, value_bits=8, min_buckets=4)
+    t.insert_many(arr, vals)
+    assert len(t) == len(keys)
+    for k, v in zip(arr[:50], vals[:50]):
+        assert int(v) in t.candidate_values(int(k))
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=2**63 - 1), min_size=2, max_size=120, unique=True
+    ),
+    split=st.integers(min_value=1, max_value=119),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_cuckoo_chunked_inserts_equivalent(keys, split, seed):
+    """Feeding keys in two chunks answers the same as one bulk insert."""
+    split = min(split, len(keys) - 1)
+    arr = np.asarray(keys, dtype=np.uint64)
+    a = ChainedCuckooTable(fp_bits=12, value_bits=8, min_buckets=4, seed=seed)
+    a.insert_many(arr, 7)
+    b = ChainedCuckooTable(fp_bits=12, value_bits=8, min_buckets=4, seed=seed)
+    b.insert_many(arr[:split], 7)
+    b.insert_many(arr[split:], 7)
+    for k in arr:
+        assert 7 in b.candidate_values(int(k))
+        assert a.contains(int(k)) and b.contains(int(k))
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=50)),
+        min_size=1,
+        max_size=150,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_cuckoofilter_matches_multiset_reference(ops):
+    """Insert/delete against a reference multiset: anything still in the
+    reference must be reported present (no false negatives, ever)."""
+    f = CuckooFilter(512, fp_bits=16, seed=3)
+    ref: dict[int, int] = {}
+    for is_add, key in ops:
+        if is_add:
+            f.add(key)
+            ref[key] = ref.get(key, 0) + 1
+        elif ref.get(key, 0) > 0:
+            assert f.delete(key)
+            ref[key] -= 1
+    for key, count in ref.items():
+        if count > 0:
+            assert key in f
+    assert len(f) == sum(ref.values())
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=2**62), min_size=1, max_size=60, unique=True
+    ),
+    qbits=st.integers(min_value=7, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_quotient_never_false_negative(keys, qbits):
+    f = QuotientFilter(qbits=qbits, rbits=12)
+    for k in keys:
+        f.add(k)
+        # Invariant holds after *every* insert, not just at the end —
+        # cluster shifting must never orphan an earlier remainder.
+        for seen in keys[: keys.index(k) + 1]:
+            assert seen in f
+
+
+@given(
+    nbuckets=st.integers(min_value=1, max_value=64),
+    keys=st.lists(st.integers(min_value=0, max_value=2**63 - 1), min_size=1, max_size=80),
+)
+@settings(max_examples=40, deadline=None)
+def test_single_table_count_matches_inserts(nbuckets, keys):
+    t = PartialKeyCuckooTable(nbuckets, fp_bits=8, value_bits=8, max_kicks=50)
+    ok = t.insert_many(np.asarray(keys, dtype=np.uint64), 1)
+    assert len(t) == int(ok.sum())
+    assert len(t) <= t.capacity_slots

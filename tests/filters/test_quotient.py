@@ -1,0 +1,90 @@
+"""Unit tests for the quotient filter, including a brute-force reference."""
+
+import numpy as np
+import pytest
+
+from repro.filters.quotient import QuotientFilter, QuotientFilterFull
+
+
+def test_basic_add_contains():
+    f = QuotientFilter(qbits=8, rbits=8)
+    f.add(42)
+    assert 42 in f
+    assert len(f) == 1
+
+
+def test_no_false_negatives_random():
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 2**63, size=3000, dtype=np.uint64)
+    f = QuotientFilter(qbits=13, rbits=10)
+    for k in keys:
+        f.add(int(k))
+    assert f.contains_many(keys).all()
+
+
+def test_no_false_negatives_adversarial_clusters():
+    """Sequential keys hammer the same clusters and exercise shifting."""
+    f = QuotientFilter(qbits=6, rbits=12, seed=3)
+    keys = list(range(40))
+    for k in keys:
+        f.add(k)
+    for k in keys:
+        assert k in f
+
+
+def test_fpr_reasonable():
+    rng = np.random.default_rng(2)
+    keys = rng.integers(0, 2**62, size=4000, dtype=np.uint64)
+    probes = rng.integers(2**62, 2**63, size=30_000, dtype=np.uint64)
+    f = QuotientFilter(qbits=13, rbits=10)
+    for k in keys:
+        f.add(int(k))
+    measured = f.contains_many(probes).mean()
+    assert measured < 4 * f.expected_fpr() + 1e-3
+
+
+def test_duplicate_digests_are_set_semantics():
+    f = QuotientFilter(qbits=8, rbits=8)
+    f.add(7)
+    f.add(7)
+    assert len(f) == 1
+
+
+def test_full_filter_raises():
+    f = QuotientFilter(qbits=3, rbits=16, seed=5)
+    with pytest.raises(QuotientFilterFull):
+        for i in range(100):
+            f.add(i)
+    assert len(f) == f.nslots
+
+
+def test_wraparound_cluster():
+    """Force elements to wrap past the end of the slot array."""
+    f = QuotientFilter(qbits=4, rbits=16, seed=7)
+    inserted = []
+    for i in range(14):  # near-full: long clusters, likely wrapping
+        f.add(i)
+        inserted.append(i)
+        for k in inserted:
+            assert k in f
+
+
+def test_size_bytes():
+    f = QuotientFilter(qbits=10, rbits=13)
+    assert f.size_bytes == (1024 * 16 + 7) // 8
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        QuotientFilter(qbits=0, rbits=8)
+    with pytest.raises(ValueError):
+        QuotientFilter(qbits=8, rbits=0)
+    with pytest.raises(ValueError):
+        QuotientFilter(qbits=32, rbits=8)
+
+
+def test_load_factor():
+    f = QuotientFilter(qbits=5, rbits=8)
+    for i in range(16):
+        f.add(i * 7919)
+    assert f.load_factor == pytest.approx(len(f) / 32)

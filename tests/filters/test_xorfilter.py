@@ -1,0 +1,72 @@
+"""Unit tests for the xor filter."""
+
+import numpy as np
+import pytest
+
+from repro.filters.xorfilter import XorFilter
+
+
+def _rand(n, seed=0, lo=0, hi=2**62):
+    return np.random.default_rng(seed).integers(lo, hi, size=n, dtype=np.uint64)
+
+
+def test_no_false_negatives():
+    keys = _rand(50_000, seed=1)
+    f = XorFilter(keys, fp_bits=8)
+    assert f.contains_many(keys).all()
+
+
+def test_fpr_matches_fingerprint_width():
+    keys = _rand(30_000, seed=2)
+    probes = _rand(200_000, seed=3, lo=2**62, hi=2**63)
+    for bits in (4, 8, 12):
+        f = XorFilter(keys, fp_bits=bits, seed=bits)
+        measured = f.contains_many(probes).mean()
+        assert measured == pytest.approx(2.0**-bits, rel=0.5, abs=2e-4)
+
+
+def test_space_is_about_1p23_fp_bits():
+    keys = _rand(100_000, seed=4)
+    f = XorFilter(keys, fp_bits=8)
+    assert 1.2 * 8 < f.bits_per_key < 1.3 * 8
+
+
+def test_tiny_key_sets():
+    for n in (1, 2, 3, 7):
+        keys = _rand(n, seed=n + 10)
+        f = XorFilter(keys, fp_bits=16)
+        assert f.contains_many(keys).all()
+        assert len(f) == n
+
+
+def test_duplicate_keys_deduped():
+    keys = np.asarray([5, 5, 9, 9, 9], dtype=np.uint64)
+    f = XorFilter(keys, fp_bits=8)
+    assert len(f) == 2
+    assert 5 in f and 9 in f
+
+
+def test_scalar_api():
+    keys = _rand(100, seed=5)
+    f = XorFilter(keys, fp_bits=16)
+    assert int(keys[0]) in f
+
+
+def test_empty_batch_query():
+    f = XorFilter(_rand(10, seed=6))
+    assert f.contains_many(np.zeros(0, dtype=np.uint64)).shape == (0,)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        XorFilter(np.zeros(0, dtype=np.uint64))
+    with pytest.raises(ValueError):
+        XorFilter(_rand(5), fp_bits=0)
+
+
+def test_static_semantics_reproducible():
+    keys = _rand(1000, seed=7)
+    a = XorFilter(keys, fp_bits=8, seed=1)
+    b = XorFilter(keys, fp_bits=8, seed=1)
+    probes = _rand(5000, seed=8)
+    assert np.array_equal(a.contains_many(probes), b.contains_many(probes))

@@ -1,0 +1,64 @@
+"""Cross-validation: the DES and the analytic flow model must agree.
+
+The big sweeps (Figs. 8–10) trust the flow model because simulating tens
+of millions of batch events is infeasible; this test earns that trust by
+running a *small* all-to-all entirely on the discrete-event engine and
+comparing the achieved per-node bandwidth against the flow model's
+prediction for the same configuration.
+"""
+
+import pytest
+
+from repro.net.cpu import CPUS, TRANSPORTS, rpc_cpu_time
+from repro.net.des import Resource, Simulator
+from repro.net.flowmodel import pernode_alltoall_bandwidth
+from repro.net.topology import DragonflyTopology
+
+
+def _des_alltoall(cpu_name: str, nprocs: int, msgs_per_pair: int, msg_bytes: int) -> float:
+    """Run a CPU-bound all-to-all on the DES; returns bytes/s per process.
+
+    One core per process; every message charges send CPU at the source and
+    receive CPU at the destination, serialized through each process's core
+    resource — the same structure the flow model's cpu_limit assumes.
+    """
+    cpu = CPUS[cpu_name]
+    transport = TRANSPORTS["gni"]
+    sim = Simulator()
+    cores = [Resource(sim, 1) for _ in range(nprocs)]
+    per_side = rpc_cpu_time(cpu, transport, msg_bytes, blocking=False)
+
+    def charge(core):
+        yield core.request()
+        yield sim.timeout(per_side)
+        core.release()
+
+    # Every message costs one send-side charge and one receive-side charge,
+    # all contending for the single core each process owns.
+    for src in range(nprocs):
+        for dst in range(nprocs):
+            if dst == src:
+                continue
+            for _ in range(msgs_per_pair):
+                sim.spawn(charge(cores[src]))
+                sim.spawn(charge(cores[dst]))
+    sim.run()
+    total_bytes = nprocs * (nprocs - 1) * msgs_per_pair * msg_bytes
+    return total_bytes / sim.now / nprocs
+
+
+@pytest.mark.parametrize("cpu", ["haswell", "trinity-knl"])
+def test_des_matches_flowmodel_cpu_limit(cpu):
+    nprocs, msg_bytes = 4, 16384
+    des_bw = _des_alltoall(cpu, nprocs, msgs_per_pair=40, msg_bytes=msg_bytes)
+    # Wide-open topology: the flow model's binding limit is the CPU term.
+    topo = DragonflyTopology(base_efficiency=1.0, taper_alpha=0.0)
+    model = pernode_alltoall_bandwidth(cpu, "gni", topo, nprocs, 1, msg_bytes)
+    assert model.bottleneck == "cpu"
+    assert des_bw == pytest.approx(model.cpu_limit, rel=0.15)
+
+
+def test_des_preserves_cpu_ratio_between_processors():
+    h = _des_alltoall("haswell", 4, 30, 16384)
+    k = _des_alltoall("trinity-knl", 4, 30, 16384)
+    assert h / k == pytest.approx(4.0, rel=0.05)

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the adoption surface; a broken one is a broken deliverable.
+Each runs in a subprocess with the repo's interpreter and must exit 0 and
+print its success line.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", "OK: all queried values matched"),
+    ("format_comparison.py", "filterkv"),
+    ("vpic_insitu.py", "OK: trajectory recovered"),
+    ("rpc_microbench.py", "per-node all-to-all bandwidth"),
+    ("dataset_workflow.py", "OK."),
+    ("mpi_partition.py", "records partitioned across"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, marker):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout

@@ -1,0 +1,106 @@
+"""Failure injection: corrupted storage must be detected, never served."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import FMT_BASE, FMT_FILTERKV
+from repro.core.kv import random_kv_batch
+from repro.core.pipeline import main_table_name
+from repro.storage.blockio import StorageDevice
+from repro.storage.sstable import CorruptBlockError, SSTableReader, SSTableWriter
+
+
+def _corrupt(device: StorageDevice, name: str, offset: int, delta: int = 1) -> None:
+    buf = device._files[name].getbuffer()
+    buf[offset] = (buf[offset] + delta) % 256
+
+
+def _build_table(dev, n=500):
+    w = SSTableWriter(dev, "t", block_size=512)
+    for k in range(n):
+        w.add(k, b"payload-%03d" % (k % 1000))
+    return w.finish()
+
+
+def test_data_block_corruption_detected():
+    dev = StorageDevice()
+    stats = _build_table(dev)
+    r = SSTableReader(dev, "t")
+    assert r.get(123) is not None
+    # Flip a byte in the middle of the data region.
+    _corrupt(dev, "t", stats.data_bytes // 2)
+    r2 = SSTableReader(dev, "t")
+    hit_corruption = False
+    for k in range(0, 500, 13):
+        try:
+            r2.get(k)
+        except CorruptBlockError:
+            hit_corruption = True
+    assert hit_corruption
+
+
+def test_corruption_ignored_when_verification_disabled():
+    dev = StorageDevice()
+    stats = _build_table(dev)
+    _corrupt(dev, "t", stats.data_bytes // 2)
+    r = SSTableReader(dev, "t", verify_checksums=False)
+    # No exception — the reader knowingly serves unverified bytes.
+    for k in range(0, 500, 13):
+        r.get(k)
+
+
+def test_footer_corruption_detected():
+    dev = StorageDevice()
+    _build_table(dev)
+    size = dev.file_size("t")
+    _corrupt(dev, "t", size - 30)  # inside the footer
+    with pytest.raises(ValueError):
+        SSTableReader(dev, "t")
+
+
+def test_truncated_table_detected():
+    dev = StorageDevice()
+    _build_table(dev)
+    import io
+
+    blob = dev._files["t"].getbuffer().tobytes()[:40]
+    dev._files["trunc"] = io.BytesIO(blob)
+    with pytest.raises(ValueError):
+        SSTableReader(dev, "trunc")
+
+
+def test_scan_detects_corruption():
+    dev = StorageDevice()
+    stats = _build_table(dev)
+    _corrupt(dev, "t", stats.data_bytes // 3)
+    r = SSTableReader(dev, "t")
+    with pytest.raises(CorruptBlockError):
+        r.scan()
+
+
+@pytest.mark.parametrize("fmt", [FMT_BASE, FMT_FILTERKV], ids=lambda f: f.name)
+def test_cluster_partition_corruption_surfaces_in_queries(fmt):
+    """End to end: flip bytes in a persisted partition; queries that touch
+    the damaged block raise rather than returning wrong values."""
+    cluster = SimCluster(nranks=4, fmt=fmt, value_bytes=24, records_hint=4000, seed=8)
+    batches = [random_kv_batch(1000, 24, np.random.default_rng(700 + r)) for r in range(4)]
+    for rank, b in enumerate(batches):
+        cluster.put(rank, b)
+    cluster.finish_epoch()
+    # Damage every partition's data region.
+    for rank in range(4):
+        name = main_table_name(0, rank)
+        _corrupt(cluster.device, name, cluster.device.file_size(name) // 3)
+    engine = cluster.query_engine()
+    outcomes = {"ok": 0, "detected": 0}
+    for rank, batch in enumerate(batches):
+        for i in range(0, 1000, 101):
+            try:
+                value, qs = engine.get(int(batch.keys[i]))
+                if qs.found:
+                    assert value == batch.value_of(i)  # never wrong data
+                outcomes["ok"] += 1
+            except CorruptBlockError:
+                outcomes["detected"] += 1
+    assert outcomes["detected"] > 0

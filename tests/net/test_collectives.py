@@ -1,0 +1,81 @@
+"""Tests for DES shuffle collectives."""
+
+import numpy as np
+import pytest
+
+from repro.net.collectives import alltoallv
+from repro.net.flowmodel import pernode_alltoall_bandwidth
+from repro.net.topology import DragonflyTopology
+
+
+def _uniform(nprocs, per_pair):
+    m = np.full((nprocs, nprocs), per_pair, dtype=np.int64)
+    np.fill_diagonal(m, 0)
+    return m
+
+
+def test_uniform_exchange_matches_flowmodel():
+    nprocs, per_pair, msg = 4, 30, 16384
+    res = alltoallv(_uniform(nprocs, per_pair), msg, cpu="haswell")
+    topo = DragonflyTopology(base_efficiency=1.0, taper_alpha=0.0)
+    model = pernode_alltoall_bandwidth("haswell", "gni", topo, nprocs, 1, msg)
+    assert res.pernode_bandwidth == pytest.approx(model.cpu_limit, rel=0.15)
+
+
+def test_knl_4x_slower():
+    m = _uniform(4, 20)
+    h = alltoallv(m, 16384, cpu="haswell").elapsed
+    k = alltoallv(m, 16384, cpu="trinity-knl").elapsed
+    assert k / h == pytest.approx(4.0, rel=0.05)
+
+
+def test_message_and_byte_accounting():
+    m = np.asarray([[0, 2, 1], [3, 5, 0], [1, 1, 0]])  # diagonal ignored
+    res = alltoallv(m, 1000, cpu="haswell")
+    assert res.total_messages == 2 + 1 + 3 + 1 + 1
+    assert res.total_bytes == 8 * 1000
+
+
+def test_hot_receiver_skew():
+    """All senders target one receiver: its core serializes the exchange."""
+    nprocs, per_pair = 6, 10
+    skew = np.zeros((nprocs, nprocs), dtype=np.int64)
+    skew[:, 0] = per_pair
+    skew[0, 0] = 0
+    balanced = _uniform(nprocs, 2)
+    r_skew = alltoallv(skew, 4096)
+    r_bal = alltoallv(balanced, 4096)
+    # Normalize by message count: the hot receiver's core serializes the
+    # skewed exchange, so each message costs far more wall-clock.
+    assert (r_skew.elapsed / r_skew.total_messages) > 2 * (
+        r_bal.elapsed / r_bal.total_messages
+    )
+
+
+def test_shared_wire_caps_bandwidth():
+    m = _uniform(4, 25)
+    fast = alltoallv(m, 16384, wire_bandwidth=None)
+    slow = alltoallv(m, 16384, wire_bandwidth=1e6)  # 1 MB/s shared fabric
+    assert slow.elapsed > fast.elapsed
+    assert slow.total_bytes / slow.elapsed == pytest.approx(1e6, rel=0.15)
+
+
+def test_blocking_mode_slower():
+    m = _uniform(3, 15)
+    p = alltoallv(m, 64, blocking=False).elapsed
+    b = alltoallv(m, 64, blocking=True).elapsed
+    assert b > p
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        alltoallv(np.zeros((2, 3)), 64)
+    with pytest.raises(ValueError):
+        alltoallv(np.asarray([[0, -1], [0, 0]]), 64)
+
+
+def test_empty_exchange():
+    res = alltoallv(np.zeros((3, 3)), 64)
+    assert res.elapsed == 0.0
+    assert res.total_messages == 0
+    assert res.pernode_bandwidth == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the RPC latency model against the paper's Fig. 1 anchors."""
+
+import pytest
+
+from repro.net.cpu import CPUS, TRANSPORTS, rpc_cpu_time
+from repro.net.rpc import measure_rpc_latency
+
+
+def test_knl_about_4x_haswell_polling():
+    """Fig. 1a: KNL RPC latency ≈ 4× Haswell for small messages."""
+    h = measure_rpc_latency("haswell", "gni", 8, "polling")
+    k = measure_rpc_latency("trinity-knl", "gni", 8, "polling")
+    assert 3.0 < k.mean_us / h.mean_us < 5.0
+
+
+def test_blocking_worse_than_polling_and_gap_wider_on_knl():
+    """Fig. 1c: blocking mode amplifies the KNL penalty (context switches)."""
+    for cpu in ("haswell", "trinity-knl"):
+        p = measure_rpc_latency(cpu, "gni", 8, "polling")
+        b = measure_rpc_latency(cpu, "gni", 8, "blocking")
+        assert b.mean_us > p.mean_us
+    extra_h = (
+        measure_rpc_latency("haswell", "gni", 8, "blocking").mean_us
+        - measure_rpc_latency("haswell", "gni", 8, "polling").mean_us
+    )
+    extra_k = (
+        measure_rpc_latency("trinity-knl", "gni", 8, "blocking").mean_us
+        - measure_rpc_latency("trinity-knl", "gni", 8, "polling").mean_us
+    )
+    assert extra_k > 3 * extra_h
+
+
+def test_latency_monotone_in_message_size():
+    sizes = [8, 256, 1024, 4096, 16384, 65536]
+    lats = [measure_rpc_latency("haswell", "gni", s).mean_us for s in sizes]
+    assert all(a <= b for a, b in zip(lats, lats[1:]))
+
+
+def test_bulk_transfer_step_past_eager_limit():
+    """GNI payloads beyond 16 KB need a rendezvous round trip (§II)."""
+    eager = measure_rpc_latency("haswell", "gni", 16384).mean_us
+    bulk = measure_rpc_latency("haswell", "gni", 16385).mean_us
+    assert bulk > eager + 2 * TRANSPORTS["gni"].wire_latency_us * 0.9
+
+
+def test_theta_slightly_slower_than_trinity_knl():
+    t = measure_rpc_latency("theta-knl", "gni", 8)
+    k = measure_rpc_latency("trinity-knl", "gni", 8)
+    assert t.mean_us > k.mean_us
+
+
+def test_tcp_slower_than_gni():
+    tcp = measure_rpc_latency("haswell", "tcp", 8)
+    gni = measure_rpc_latency("haswell", "gni", 8)
+    assert tcp.mean_us > 1.5 * gni.mean_us
+
+
+def test_result_metadata():
+    r = measure_rpc_latency("haswell", "gni", 64, "polling", nmessages=10)
+    assert r.nmessages == 10
+    assert r.cpu == "haswell" and r.transport == "gni"
+    assert r.msg_bytes == 64 and r.mode == "polling"
+
+
+def test_invalid_mode_rejected():
+    from repro.net.des import Simulator
+    from repro.net.rpc import RpcEndpoint
+
+    with pytest.raises(ValueError):
+        RpcEndpoint(Simulator(), CPUS["haswell"], TRANSPORTS["gni"], "spinning")
+
+
+def test_rpc_cpu_time_scales_with_slowdown():
+    h = rpc_cpu_time(CPUS["haswell"], TRANSPORTS["gni"], 1024, False)
+    k = rpc_cpu_time(CPUS["trinity-knl"], TRANSPORTS["gni"], 1024, False)
+    assert k == pytest.approx(4.0 * h)
+
+
+def test_rpc_cpu_time_blocking_adds_switches():
+    cpu, tr = CPUS["haswell"], TRANSPORTS["gni"]
+    extra = rpc_cpu_time(cpu, tr, 64, True) - rpc_cpu_time(cpu, tr, 64, False)
+    assert extra == pytest.approx(2 * cpu.context_switch_us * 1e-6)

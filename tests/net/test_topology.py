@@ -1,0 +1,48 @@
+"""Tests for topology all-to-all efficiency models."""
+
+from repro.net.topology import (
+    ARIES_DRAGONFLY,
+    NARWHAL_FATTREE,
+    DragonflyTopology,
+    FatTreeTopology,
+)
+
+
+def test_single_node_is_free():
+    assert NARWHAL_FATTREE.alltoall_efficiency(1) == 1.0
+    assert ARIES_DRAGONFLY.alltoall_efficiency(1) == 1.0
+
+
+def test_fattree_efficiency_decreases_with_scale():
+    effs = [NARWHAL_FATTREE.alltoall_efficiency(n) for n in (2, 16, 64, 160, 640)]
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+    assert effs[-1] < effs[0]
+
+
+def test_fattree_within_edge_switch_is_cheap():
+    # A job inside one edge switch suffers no oversubscription.
+    eff = NARWHAL_FATTREE.alltoall_efficiency(NARWHAL_FATTREE.nodes_per_edge)
+    assert eff > 0.8
+
+
+def test_fattree_large_scale_penalty_is_severe():
+    """Fig. 8's base-format curve needs large jobs to see only a small
+    fraction of NIC bandwidth for shuffle."""
+    eff = NARWHAL_FATTREE.alltoall_efficiency(160)
+    assert eff < 0.25
+
+
+def test_dragonfly_stays_efficient():
+    effs = [ARIES_DRAGONFLY.alltoall_efficiency(n) for n in (4, 32, 128, 1024)]
+    assert all(e > 0.6 for e in effs)
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+
+def test_dragonfly_floor():
+    t = DragonflyTopology(base_efficiency=0.9, taper_alpha=10.0)
+    assert t.alltoall_efficiency(1 << 20) == 0.1
+
+
+def test_custom_fattree_oversub_one_is_lossless_except_incast():
+    t = FatTreeTopology(access_oversub=1.0, dist_oversub=1.0, incast_alpha=0.0)
+    assert t.alltoall_efficiency(1000) == 1.0

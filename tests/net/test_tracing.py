@@ -1,0 +1,81 @@
+"""Tests for DES execution tracing."""
+
+import pytest
+
+from repro.net.des import Resource, Simulator
+from repro.net.tracing import Span, Tracer
+
+
+def _traced_workload():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    core = Resource(sim, 1)
+
+    def worker(tag, dt):
+        yield core.request()
+        with tracer.span("core0", tag):
+            yield sim.timeout(dt)
+        core.release()
+
+    sim.run_all([worker("send", 2.0), worker("recv", 3.0)])
+    return sim, tracer
+
+
+def test_spans_recorded_with_durations():
+    sim, tracer = _traced_workload()
+    assert len(tracer.spans) == 2
+    assert tracer.busy_time("core0") == pytest.approx(5.0)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_utilization():
+    sim, tracer = _traced_workload()
+    assert tracer.utilization("core0") == pytest.approx(1.0)
+    assert tracer.utilization("core1") == 0.0
+    assert Tracer(Simulator()).utilization("x") == 0.0
+
+
+def test_by_label():
+    _, tracer = _traced_workload()
+    labels = tracer.by_label()
+    assert labels["send"] == pytest.approx(2.0)
+    assert labels["recv"] == pytest.approx(3.0)
+
+
+def test_idle_time_visible():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def bursty():
+        with tracer.span("nic", "tx"):
+            yield sim.timeout(1.0)
+        yield sim.timeout(3.0)  # idle gap
+        with tracer.span("nic", "tx"):
+            yield sim.timeout(1.0)
+
+    sim.run_all([bursty()])
+    assert tracer.utilization("nic") == pytest.approx(2.0 / 5.0)
+
+
+def test_timeline_rendering():
+    _, tracer = _traced_workload()
+    art = tracer.timeline(width=40)
+    assert "core0" in art
+    assert "s" in art.splitlines()[-1]
+    assert "r" in art and "s" in art  # both span labels appear
+
+
+def test_empty_timeline():
+    assert Tracer(Simulator()).timeline() == "(empty trace)"
+
+
+def test_invalid_span_rejected():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    with pytest.raises(ValueError):
+        tracer.record("x", "bad", start=5.0, end=1.0)
+
+
+def test_span_dataclass():
+    s = Span("r", "l", 1.0, 3.5)
+    assert s.duration == 2.5

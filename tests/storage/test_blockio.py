@@ -1,0 +1,95 @@
+"""Unit tests for the storage device model."""
+
+import pytest
+
+from repro.storage.blockio import DeviceProfile, IOCounters, StorageDevice
+
+
+def test_append_then_read_roundtrip():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    off = f.append(b"hello")
+    assert off == 0
+    assert f.append(b"world") == 5
+    assert f.read(0, 5) == b"hello"
+    assert f.read(5, 5) == b"world"
+    assert f.size == 10
+
+
+def test_short_read_at_eof():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    f.append(b"abc")
+    assert f.read(1, 100) == b"bc"
+    assert f.read(50, 10) == b""
+
+
+def test_missing_file_raises():
+    dev = StorageDevice()
+    with pytest.raises(FileNotFoundError):
+        dev.open("nope")
+
+
+def test_counters_track_ops_and_bytes():
+    dev = StorageDevice(DeviceProfile(read_bandwidth=100.0, write_bandwidth=50.0, seek_time=0.5))
+    f = dev.open("x", create=True)
+    f.append(b"A" * 100)
+    f.read(0, 60)
+    c = dev.counters
+    assert c.writes == 1 and c.bytes_written == 100
+    assert c.reads == 1 and c.bytes_read == 60
+    assert c.write_time == pytest.approx(0.5 + 100 / 50.0)
+    assert c.read_time == pytest.approx(0.5 + 60 / 100.0)
+
+
+def test_counter_snapshot_delta():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    f.append(b"1234")
+    before = dev.counters.snapshot()
+    f.read(0, 4)
+    d = dev.counters.delta(before)
+    assert d.reads == 1
+    assert d.writes == 0
+    assert d.bytes_read == 4
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        DeviceProfile(read_bandwidth=0)
+    with pytest.raises(ValueError):
+        DeviceProfile(seek_time=-1)
+
+
+def test_closed_file_rejects_io():
+    dev = StorageDevice()
+    with dev.open("x", create=True) as f:
+        f.append(b"z")
+    with pytest.raises(ValueError):
+        f.read(0, 1)
+    with pytest.raises(ValueError):
+        f.append(b"y")
+
+
+def test_negative_read_args_rejected():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    with pytest.raises(ValueError):
+        f.read(-1, 4)
+    with pytest.raises(ValueError):
+        f.read(0, -4)
+
+
+def test_device_inventory():
+    dev = StorageDevice()
+    dev.open("b", create=True).append(b"xx")
+    dev.open("a", create=True).append(b"y")
+    assert dev.list_files() == ["a", "b"]
+    assert dev.exists("a") and not dev.exists("c")
+    assert dev.total_bytes_stored() == 3
+    assert dev.file_size("b") == 2
+
+
+def test_iocounters_defaults():
+    c = IOCounters()
+    assert c.reads == c.writes == c.bytes_read == c.bytes_written == 0

@@ -1,0 +1,58 @@
+"""Unit + property tests for the block checksum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.checksum import CHECKSUM_BYTES, fastsum64
+
+
+def test_deterministic():
+    assert fastsum64(b"hello") == fastsum64(b"hello")
+    assert CHECKSUM_BYTES == 8
+
+
+def test_empty_input():
+    assert isinstance(fastsum64(b""), int)
+    assert fastsum64(b"") != fastsum64(b"\x00")
+
+
+def test_length_sensitivity():
+    # Zero padding must not collide with the unpadded input.
+    assert fastsum64(b"abc") != fastsum64(b"abc\x00")
+    assert fastsum64(b"abc\x00\x00") != fastsum64(b"abc\x00")
+
+
+def test_seed_changes_sum():
+    assert fastsum64(b"data", seed=1) != fastsum64(b"data", seed=2)
+
+
+def test_position_sensitivity():
+    # Swapping two words must change the sum (weighted by position).
+    a = b"A" * 8 + b"B" * 8
+    b = b"B" * 8 + b"A" * 8
+    assert fastsum64(a) != fastsum64(b)
+
+
+@given(data=st.binary(min_size=1, max_size=2000), bit=st.integers(min_value=0, max_value=15999))
+@settings(max_examples=150, deadline=None)
+def test_single_bit_flip_detected(data, bit):
+    bit %= len(data) * 8
+    flipped = bytearray(data)
+    flipped[bit // 8] ^= 1 << (bit % 8)
+    assert fastsum64(bytes(flipped)) != fastsum64(data)
+
+
+def test_sum_distribution_is_wide():
+    rng = np.random.default_rng(1)
+    sums = [fastsum64(rng.integers(0, 256, 100, dtype=np.uint8).tobytes()) for _ in range(200)]
+    assert len(set(sums)) == 200
+    # High bits are populated too.
+    assert any(s >> 60 for s in sums)
+
+
+def test_large_input_fast_path():
+    data = bytes(np.random.default_rng(2).integers(0, 256, 1 << 20, dtype=np.uint8))
+    s = fastsum64(data)
+    assert fastsum64(data) == s

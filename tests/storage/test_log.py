@@ -1,0 +1,82 @@
+"""Unit tests for value logs and data pointers."""
+
+import pytest
+
+from repro.storage.blockio import StorageDevice
+from repro.storage.log import POINTER_BYTES, DataPointer, ValueLog
+
+
+def test_pointer_pack_unpack():
+    p = DataPointer(rank=7, offset=123456789)
+    blob = p.pack()
+    assert len(blob) == POINTER_BYTES == 12
+    assert DataPointer.unpack(blob) == p
+
+
+def test_pointer_unpack_rejects_wrong_size():
+    with pytest.raises(ValueError):
+        DataPointer.unpack(b"\x00" * 11)
+
+
+def test_append_read_roundtrip():
+    dev = StorageDevice()
+    log = ValueLog(dev, rank=3)
+    p1 = log.append(b"value-one")
+    p2 = log.append(b"value-two-longer")
+    assert log.read(p1) == b"value-one"
+    assert log.read(p2) == b"value-two-longer"
+    assert len(log) == 2
+    assert p1.rank == p2.rank == 3
+
+
+def test_read_value_larger_than_hint():
+    dev = StorageDevice()
+    log = ValueLog(dev, rank=0)
+    big = bytes(range(256)) * 40  # 10 KB > default 4 KB hint
+    p = log.append(big)
+    assert log.read(p) == big
+    assert dev.counters.reads == 2  # hint read + tail read
+
+
+def test_single_seek_for_small_values():
+    dev = StorageDevice()
+    log = ValueLog(dev, rank=0)
+    p = log.append(b"x" * 64)
+    before = dev.counters.snapshot()
+    log.read(p)
+    assert dev.counters.delta(before).reads == 1
+
+
+def test_wrong_rank_pointer_rejected():
+    dev = StorageDevice()
+    log = ValueLog(dev, rank=1)
+    p = log.append(b"data")
+    with pytest.raises(ValueError):
+        log.read(DataPointer(rank=2, offset=p.offset))
+
+
+def test_bad_offset_rejected():
+    dev = StorageDevice()
+    log = ValueLog(dev, rank=0)
+    log.append(b"data")
+    with pytest.raises(ValueError):
+        log.read(DataPointer(rank=0, offset=10_000))
+
+
+def test_negative_rank_rejected():
+    with pytest.raises(ValueError):
+        ValueLog(StorageDevice(), rank=-1)
+
+
+def test_size_accounting():
+    dev = StorageDevice()
+    log = ValueLog(dev, rank=0)
+    log.append(b"abcd")
+    assert log.size_bytes == 4 + 4  # u32 length prefix + body
+
+
+def test_filename_is_per_rank():
+    dev = StorageDevice()
+    ValueLog(dev, rank=0)
+    ValueLog(dev, rank=1)
+    assert dev.list_files() == ["vlog.000000", "vlog.000001"]

@@ -1,0 +1,62 @@
+"""Unit tests for the dataset manifest."""
+
+import pytest
+
+from repro.storage.blockio import StorageDevice
+from repro.storage.manifest import MANIFEST_NAME, EpochInfo, Manifest
+
+
+def _info(epoch, records=100):
+    return EpochInfo(epoch=epoch, records=records, files=(f"part.{epoch:03d}.000000",), bytes=4096)
+
+
+def test_roundtrip_bytes():
+    m = Manifest(fmt="filterkv", nranks=8, value_bytes=56)
+    m.add_epoch(_info(0))
+    m.add_epoch(_info(1, records=200))
+    n = Manifest.from_bytes(m.to_bytes())
+    assert n.fmt == "filterkv"
+    assert n.nranks == 8 and n.value_bytes == 56
+    assert n.epoch_ids == [0, 1]
+    assert n.total_records == 300
+    assert n.epochs[1].files == ("part.001.000000",)
+
+
+def test_save_and_load_from_device():
+    dev = StorageDevice()
+    m = Manifest(fmt="base", nranks=4, value_bytes=24)
+    m.add_epoch(_info(0))
+    m.save(dev)
+    assert dev.exists(MANIFEST_NAME)
+    n = Manifest.load(dev)
+    assert n.fmt == "base" and n.total_records == 100
+
+
+def test_save_replaces_previous():
+    dev = StorageDevice()
+    m = Manifest(fmt="base", nranks=4, value_bytes=24)
+    m.save(dev)
+    m.add_epoch(_info(0))
+    m.save(dev)
+    assert Manifest.load(dev).epoch_ids == [0]
+
+
+def test_epochs_kept_sorted():
+    m = Manifest(fmt="base", nranks=2, value_bytes=8)
+    m.add_epoch(_info(3))
+    m.add_epoch(_info(1))
+    assert m.epoch_ids == [1, 3]
+
+
+def test_duplicate_epoch_rejected():
+    m = Manifest(fmt="base", nranks=2, value_bytes=8)
+    m.add_epoch(_info(0))
+    with pytest.raises(ValueError):
+        m.add_epoch(_info(0))
+
+
+def test_malformed_blob_rejected():
+    with pytest.raises(ValueError):
+        Manifest.from_bytes(b"not json at all {{{")
+    with pytest.raises(ValueError):
+        Manifest.from_bytes(b'{"version": 99}')

@@ -1,0 +1,110 @@
+"""Unit tests for memtables, spilled runs, and the flattened merge."""
+
+import numpy as np
+import pytest
+
+from repro.storage.blockio import StorageDevice
+from repro.storage.memtable import MemTable, RunWriter, flatten_runs
+from repro.storage.sstable import SSTableReader, SSTableWriter
+
+
+def test_memtable_budget():
+    mt = MemTable(budget_bytes=100)
+    assert mt.add(1, b"x" * 40)  # 48 bytes
+    assert not mt.add(2, b"y" * 50)  # 106 ≥ 100
+    assert mt.full
+    assert len(mt) == 2
+    assert mt.size_bytes == 106
+
+
+def test_memtable_sorted_items_stable():
+    mt = MemTable()
+    mt.add(5, b"first")
+    mt.add(1, b"a")
+    mt.add(5, b"second")
+    items = mt.sorted_items()
+    assert [k for k, _ in items] == [1, 5, 5]
+    assert items[1][1] == b"first" and items[2][1] == b"second"
+
+
+def test_memtable_reset():
+    mt = MemTable(budget_bytes=64)
+    mt.add(1, b"v")
+    mt.reset()
+    assert len(mt) == 0 and mt.size_bytes == 0 and not mt.full
+
+
+def test_memtable_validates_budget():
+    with pytest.raises(ValueError):
+        MemTable(budget_bytes=10)
+
+
+def test_spill_and_read_run():
+    dev = StorageDevice()
+    rw = RunWriter(dev, "runs.0")
+    mt = MemTable()
+    for k in (9, 3, 7):
+        mt.add(k, b"v%d" % k)
+    rw.spill(mt)
+    assert len(mt) == 0  # spill resets
+    assert rw.total_entries == 3
+    assert rw.read_run(0) == [(3, b"v3"), (7, b"v7"), (9, b"v9")]
+
+
+def test_spill_empty_is_noop():
+    dev = StorageDevice()
+    rw = RunWriter(dev, "runs.0")
+    rw.spill(MemTable())
+    assert rw.runs == []
+
+
+def test_flatten_merges_runs_in_key_order():
+    dev = StorageDevice()
+    rw = RunWriter(dev, "runs.0")
+    rng = np.random.default_rng(1)
+    all_items = []
+    for _ in range(4):
+        mt = MemTable()
+        for _ in range(200):
+            k = int(rng.integers(0, 10_000))
+            v = bytes([k % 251])
+            mt.add(k, v)
+            all_items.append((k, v))
+        rw.spill(mt)
+    stats = flatten_runs(rw, SSTableWriter(dev, "final", block_size=512))
+    assert stats.nentries == 800
+    reader = SSTableReader(dev, "final")
+    scanned = reader.scan()
+    assert [k for k, _ in scanned] == sorted(k for k, _ in all_items)
+
+
+def test_flatten_first_write_wins_across_runs():
+    dev = StorageDevice()
+    rw = RunWriter(dev, "runs.0")
+    m1 = MemTable()
+    m1.add(42, b"early")
+    rw.spill(m1)
+    m2 = MemTable()
+    m2.add(42, b"late")
+    rw.spill(m2)
+    flatten_runs(rw, SSTableWriter(dev, "final", block_size=512))
+    assert SSTableReader(dev, "final").get(42) == b"early"
+
+
+def test_end_to_end_bounded_memory_write():
+    """Drive the paper's loop: buffer → spill at budget → flatten."""
+    dev = StorageDevice()
+    rw = RunWriter(dev, "runs.0")
+    mt = MemTable(budget_bytes=4096)
+    rng = np.random.default_rng(2)
+    keys = rng.integers(0, 2**32, size=2000, dtype=np.uint64)
+    for k in keys:
+        if not mt.add(int(k), b"p" * 24):
+            rw.spill(mt)
+    rw.spill(mt)
+    assert len(rw.runs) > 5  # budget forced many spills
+    stats = flatten_runs(rw, SSTableWriter(dev, "final", block_size=1024))
+    assert stats.nentries == 2000
+    reader = SSTableReader(dev, "final")
+    for k in keys[:25]:
+        assert reader.get(int(k)) == b"p" * 24

@@ -1,0 +1,154 @@
+"""Unit tests for the flattened-LSM SSTable format."""
+
+import numpy as np
+import pytest
+
+from repro.storage.blockio import StorageDevice
+from repro.storage.sstable import FOOTER_BYTES, SSTableReader, SSTableWriter
+
+
+def build(dev, name, items, **kw):
+    w = SSTableWriter(dev, name, **kw)
+    for k, v in items:
+        w.add(k, v)
+    return w.finish()
+
+
+def test_roundtrip_sorted_lookup():
+    dev = StorageDevice()
+    items = [(k, f"v{k}".encode()) for k in (5, 1, 9, 3, 7)]
+    build(dev, "t", items, block_size=64)
+    r = SSTableReader(dev, "t")
+    for k, v in items:
+        assert r.get(k) == v
+    assert r.get(2) is None
+    assert r.get(100) is None
+
+
+def test_scan_returns_key_order():
+    dev = StorageDevice()
+    rng = np.random.default_rng(1)
+    keys = rng.permutation(200).astype(np.uint64)
+    build(dev, "t", [(int(k), bytes([int(k) % 251])) for k in keys], block_size=128)
+    r = SSTableReader(dev, "t")
+    scanned = r.scan()
+    assert [k for k, _ in scanned] == sorted(int(k) for k in keys)
+    assert len(scanned) == 200
+
+
+def test_multi_block_boundaries():
+    dev = StorageDevice()
+    items = [(k, b"x" * 50) for k in range(500)]
+    stats = build(dev, "t", items, block_size=256)
+    assert stats.nentries == 500
+    r = SSTableReader(dev, "t")
+    for k in (0, 1, 249, 250, 499):
+        assert r.get(k) == b"x" * 50
+
+
+def test_stats_accounting():
+    dev = StorageDevice()
+    stats = build(dev, "t", [(1, b"abc"), (2, b"defg")], block_size=1024)
+    assert stats.nentries == 2
+    assert stats.total_bytes == dev.file_size("t")
+    assert stats.data_bytes > 0 and stats.index_bytes > 0 and stats.filter_bytes > 0
+
+
+def test_bloom_gate_blocks_absent_keys():
+    dev = StorageDevice()
+    build(dev, "t", [(k, b"v") for k in range(0, 2000, 2)], block_size=512)
+    r = SSTableReader(dev, "t")
+    before = dev.counters.snapshot()
+    misses = sum(r.get(k) is not None for k in range(1, 2000, 2))
+    assert misses == 0
+    # The Bloom filter should suppress nearly all data-block reads.
+    assert dev.counters.delta(before).reads < 100
+
+
+def test_no_bloom_mode():
+    dev = StorageDevice()
+    build(dev, "t", [(1, b"a")], bloom_bits_per_key=0)
+    r = SSTableReader(dev, "t")
+    assert r.may_contain(999)  # no filter: must say maybe
+    assert r.get(1) == b"a"
+
+
+def test_duplicate_keys_first_wins():
+    dev = StorageDevice()
+    w = SSTableWriter(dev, "t", block_size=64)
+    w.add(7, b"first")
+    w.add(7, b"second")
+    w.finish()
+    assert SSTableReader(dev, "t").get(7) == b"first"
+
+
+def test_duplicate_keys_across_block_boundary():
+    dev = StorageDevice()
+    w = SSTableWriter(dev, "t", block_size=64)
+    for i in range(20):
+        w.add(7, b"dup%02d" % i)
+    w.finish()
+    assert SSTableReader(dev, "t").get(7) == b"dup00"
+
+
+def test_empty_table():
+    dev = StorageDevice()
+    stats = build(dev, "t", [])
+    assert stats.nentries == 0
+    r = SSTableReader(dev, "t")
+    assert r.get(1) is None
+    assert r.scan() == []
+
+
+def test_read_costs_match_fig11_structure():
+    """Opening costs footer+index+filter reads; get() costs one block read."""
+    dev = StorageDevice()
+    build(dev, "t", [(k, b"v" * 16) for k in range(100)], block_size=512)
+    before = dev.counters.snapshot()
+    r = SSTableReader(dev, "t")
+    open_reads = dev.counters.delta(before).reads
+    assert open_reads == 2  # footer, then filter+index in one span
+    before = dev.counters.snapshot()
+    assert r.get(50) is not None
+    assert dev.counters.delta(before).reads == 1
+
+
+def test_writer_finish_twice_rejected():
+    dev = StorageDevice()
+    w = SSTableWriter(dev, "t")
+    w.finish()
+    with pytest.raises(ValueError):
+        w.finish()
+    with pytest.raises(ValueError):
+        w.add(1, b"late")
+
+
+def test_add_many_validates_lengths():
+    dev = StorageDevice()
+    w = SSTableWriter(dev, "t")
+    with pytest.raises(ValueError):
+        w.add_many(np.asarray([1, 2], dtype=np.uint64), [b"only-one"])
+
+
+def test_tiny_block_size_rejected():
+    with pytest.raises(ValueError):
+        SSTableWriter(StorageDevice(), "t", block_size=16)
+
+
+def test_footer_magic_validated():
+    dev = StorageDevice()
+    f = dev.open("junk", create=True)
+    f.append(b"\x00" * FOOTER_BYTES)
+    with pytest.raises(ValueError):
+        SSTableReader(dev, "junk")
+    g = dev.open("short", create=True)
+    g.append(b"\x01")
+    with pytest.raises(ValueError):
+        SSTableReader(dev, "short")
+
+
+def test_large_values():
+    dev = StorageDevice()
+    big = bytes(np.random.default_rng(2).integers(0, 256, 50_000, dtype=np.uint8))
+    build(dev, "t", [(1, big)], block_size=1024)
+    assert SSTableReader(dev, "t").get(1) == big

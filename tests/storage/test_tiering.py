@@ -1,0 +1,88 @@
+"""Tests for the two-tier burst-buffer drain model."""
+
+import pytest
+
+from repro.storage.tiering import BurstReport, TierConfig, TieredStorage
+
+
+def make(capacity=100.0, ingest=10.0, drain=2.0):
+    return TieredStorage(TierConfig(capacity, ingest, drain))
+
+
+def test_small_burst_absorbed_at_ingest_speed():
+    t = make()
+    r = t.write_burst(50.0)
+    assert r.absorb_time == pytest.approx(5.0)  # 50 B at 10 B/s
+    assert not r.throttled
+    # 10 B drained during absorption; 40 left → 20 s more to queryable.
+    assert r.drain_lag == pytest.approx(20.0)
+    assert t.bb_occupancy == pytest.approx(40.0)
+
+
+def test_burst_larger_than_bb_throttles():
+    t = make(capacity=20.0, ingest=10.0, drain=2.0)
+    r = t.write_burst(100.0)
+    assert r.throttled
+    # Fill phase: 20/(10-2)=2.5 s absorbs 25 B; remaining 75 B at drain
+    # speed (2 B/s) → 37.5 s more.
+    assert r.absorb_time == pytest.approx(2.5 + 37.5)
+
+
+def test_idle_drains():
+    t = make()
+    t.write_burst(50.0)
+    occ = t.bb_occupancy
+    t.idle(5.0)
+    assert t.bb_occupancy == pytest.approx(occ - 10.0)
+    t.idle(1000.0)
+    assert t.bb_occupancy == 0.0
+
+
+def test_back_to_back_bursts_accumulate():
+    t = make(capacity=1000.0)
+    r1 = t.write_burst(50.0)
+    r2 = t.write_burst(50.0)
+    assert r2.t_start == pytest.approx(r1.t_absorbed)
+    assert t.bb_occupancy > 40.0  # both bursts' residue stacked
+
+
+def test_compute_phase_between_dumps_hides_drain():
+    """The paper's pattern: if the compute phase exceeds the drain lag,
+    the PFS write is free (hidden behind simulation time)."""
+    t = make()
+    r = t.write_burst(50.0)
+    t.idle(r.drain_lag + 1.0)
+    assert t.bb_occupancy == 0.0
+    r2 = t.write_burst(50.0)
+    assert not r2.throttled
+    assert r2.absorb_time == pytest.approx(5.0)
+
+
+def test_queryable_after():
+    t = make()
+    t.write_burst(50.0)
+    assert t.queryable_after() == pytest.approx(t.now + t.bb_occupancy / 2.0)
+
+
+def test_conservation():
+    t = make(capacity=30.0, ingest=8.0, drain=3.0)
+    t.write_burst(70.0)
+    t.idle(100.0)
+    assert t.drained_total == pytest.approx(70.0, rel=1e-6)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TierConfig(0, 1, 1)
+    with pytest.raises(ValueError):
+        TierConfig(1, 0, 1)
+    t = make()
+    with pytest.raises(ValueError):
+        t.write_burst(0)
+    with pytest.raises(ValueError):
+        t.idle(-1)
+
+
+def test_report_fields():
+    r = BurstReport(0.0, 2.0, 5.0, False)
+    assert r.absorb_time == 2.0 and r.drain_lag == 3.0
