@@ -8,7 +8,7 @@ implementation) runs at reduced scale.
 
 import numpy as np
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.core.auxtable import make_aux_table
 
 NPARTS = 256
@@ -37,14 +37,12 @@ def test_ablation_aux_backends(report, benchmark):
         amp = float(t.candidate_counts(sample).mean())
         metrics[backend] = (t.bytes_per_key, amp)
         rows.append([backend, n, round(t.bytes_per_key, 2), round(amp, 2)])
-    report(
-        render_table(
-            ["backend", "keys", "bytes/key", "partitions/query"],
-            rows,
-            title=f"Ablation — aux-table backends at N={NPARTS} partitions",
-        ),
-        name="ablation_backend",
+    text, data = table_artifact(
+        ["backend", "keys", "bytes/key", "partitions/query"],
+        rows,
+        title=f"Ablation — aux-table backends at N={NPARTS} partitions",
     )
+    report(text, name="ablation_backend", data=data)
     # Exact: 12 B, amplification 1.  Compact backends: ≤ ~2.5 B with small
     # amplification; cuckoo needs no exhaustive probing (its amp ≈ flat 2).
     assert metrics["exact"] == (12.0, 1.0)

@@ -9,7 +9,7 @@ the gain flattens (bigger batches don't buy much).
 
 import pytest
 
-from repro.analysis.reporting import percent, render_table
+from repro.analysis.reporting import percent, table_artifact
 from repro.cluster import NARWHAL, SimCluster
 from repro.core.costmodel import WriteRunConfig, model_write_phase
 from repro.core.formats import FMT_BASE, FMT_FILTERKV
@@ -41,14 +41,12 @@ def test_ablation_batch_size_model(report, benchmark):
             slowdowns[(batch, fmt.name)] = r.slowdown
             row.extend([r.rpc_messages_total, percent(r.slowdown)])
         rows.append(row)
-    report(
-        render_table(
-            ["batch B", "base msgs", "base slow", "fkv msgs", "fkv slow"],
-            rows,
-            title="Ablation — RPC batch size (64 procs, 64 B KV, 50% residual)",
-        ),
-        name="ablation_batch_model",
+    text, data = table_artifact(
+        ["batch B", "base msgs", "base slow", "fkv msgs", "fkv slow"],
+        rows,
+        title="Ablation — RPC batch size (64 procs, 64 B KV, 50% residual)",
     )
+    report(text, name="ablation_batch_model", data=data)
     # Message counts inversely proportional to batch size.
     assert rows[0][1] == pytest.approx(16 * rows[2][1], rel=0.01)
     # Slowdown never improves when batches shrink, and tiny batches hurt
@@ -71,14 +69,12 @@ def test_ablation_batch_size_execution(report, benchmark):
         st = cluster.run_epoch(20_000)
         counts.append(st.rpc_messages)
         rows.append([batch, st.rpc_messages, round(st.shuffle_bytes / st.rpc_messages)])
-    report(
-        render_table(
-            ["batch B", "messages", "avg payload B"],
-            rows,
-            title="Ablation — batch size, executed pipelines (8 ranks)",
-        ),
-        name="ablation_batch_exec",
+    text, data = table_artifact(
+        ["batch B", "messages", "avg payload B"],
+        rows,
+        title="Ablation — batch size, executed pipelines (8 ranks)",
     )
+    report(text, name="ablation_batch_exec", data=data)
     assert counts[0] > counts[1] > counts[2]
     benchmark(
         lambda: SimCluster(

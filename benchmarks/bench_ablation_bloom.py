@@ -11,7 +11,7 @@ import math
 import numpy as np
 
 from repro.analysis.models import bloom_amplification
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.core.auxtable import BloomAuxTable
 
 
@@ -33,14 +33,12 @@ def test_ablation_bloom_budgets_analytic(report, benchmark):
                 round((4 + 1.44 * math.log2(n)) / 8, 2),
             ]
         )
-    report(
-        render_table(
-            ["partitions", "amp @4+log2N", "B/key", "amp @4+1.44log2N", "B/key"],
-            rows,
-            title="Ablation — Bloom budget vs amplification (analytic)",
-        ),
-        name="ablation_bloom_analytic",
+    text, data = table_artifact(
+        ["partitions", "amp @4+log2N", "B/key", "amp @4+1.44log2N", "B/key"],
+        rows,
+        title="Ablation — Bloom budget vs amplification (analytic)",
     )
+    report(text, name="ablation_bloom_analytic", data=data)
     # 4+log2 N grows without bound; 4+1.44·log2 N stays flat (§IV-C).
     assert all(a < b for a, b in zip(amp_1x, amp_1x[1:]))
     assert max(amp_144) - min(amp_144) < 0.5
@@ -64,14 +62,12 @@ def test_ablation_bloom_budgets_empirical(report, benchmark):
         measured[label] = amp
         analytic = bloom_amplification(nparts, bpk)
         rows.append([label, round(bpk / 8, 2), round(amp, 2), round(analytic, 2)])
-    report(
-        render_table(
-            ["budget", "B/key", "measured amp", "analytic amp"],
-            rows,
-            title=f"Ablation — Bloom budgets, measured at N={nparts:,}",
-        ),
-        name="ablation_bloom_empirical",
+    text, data = table_artifact(
+        ["budget", "B/key", "measured amp", "analytic amp"],
+        rows,
+        title=f"Ablation — Bloom budgets, measured at N={nparts:,}",
     )
+    report(text, name="ablation_bloom_empirical", data=data)
     assert measured["4+1.44log2N"] < measured["4+log2N"]
     assert measured["4+1.44log2N"] < 2.0
     sample = keys[:100]

@@ -12,7 +12,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.core.auxtable import CuckooAuxTable
 from repro.filters.cuckoo import ChainedCuckooTable, PartialKeyCuckooTable
 
@@ -38,14 +38,12 @@ def test_ablation_fingerprint_bits(report, benchmark):
         amps.append(amp)
         sizes.append(t.bytes_per_key)
         rows.append([fp_bits, round(amp, 2), round(t.bytes_per_key, 2)])
-    report(
-        render_table(
-            ["fp bits", "partitions/query", "bytes/key"],
-            rows,
-            title="Ablation — cuckoo fingerprint width (amplification vs space)",
-        ),
-        name="ablation_cuckoo_fp",
+    text, data = table_artifact(
+        ["fp bits", "partitions/query", "bytes/key"],
+        rows,
+        title="Ablation — cuckoo fingerprint width (amplification vs space)",
     )
+    report(text, name="ablation_cuckoo_fp", data=data)
     # More fingerprint bits: monotonically less amplification, more space.
     assert all(a > b for a, b in zip(amps, amps[1:]))
     assert all(a < b for a, b in zip(sizes, sizes[1:]))
@@ -82,14 +80,12 @@ def test_ablation_growth_policy(report, benchmark):
             f"{u.stats.utilization * 100:.1f}%",
         ]
     )
-    report(
-        render_table(
-            ["policy", "tables", "slots", "utilization"],
-            rows,
-            title="Ablation — chained growth with vs without a capacity hint",
-        ),
-        name="ablation_cuckoo_growth",
+    text, data = table_artifact(
+        ["policy", "tables", "slots", "utilization"],
+        rows,
+        title="Ablation — chained growth with vs without a capacity hint",
     )
+    report(text, name="ablation_cuckoo_growth", data=data)
     assert utils["hinted (paper)"] > 0.90
     assert utils["hinted (paper)"] > utils["unhinted streaming"]
     benchmark(lambda: ChainedCuckooTable(capacity_hint=4096))
@@ -110,14 +106,12 @@ def test_ablation_bucket_associativity(report, benchmark):
         ok = t.insert_many(keys, 0)
         loads[spb] = float(ok.mean())
         rows.append([spb, t.capacity_slots, f"{loads[spb] * 100:.1f}%"])
-    report(
-        render_table(
-            ["slots/bucket", "capacity", "achieved load"],
-            rows,
-            title="Ablation — bucket associativity vs achievable load",
-        ),
-        name="ablation_cuckoo_assoc",
+    text, data = table_artifact(
+        ["slots/bucket", "capacity", "achieved load"],
+        rows,
+        title="Ablation — bucket associativity vs achievable load",
     )
+    report(text, name="ablation_cuckoo_assoc", data=data)
     assert loads[1] < loads[2] < loads[4] <= min(1.0, loads[8] + 0.02)
     assert loads[4] > 0.93
     benchmark(lambda: PartialKeyCuckooTable(256, fp_bits=12, value_bits=8))

@@ -9,7 +9,7 @@ choosing an aux-table backend on a given platform.
 import numpy as np
 import pytest
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.filters.blockedbloom import BlockedBloomFilter
 from repro.filters.bloom import BloomFilter
 from repro.filters.cuckoofilter import CuckooFilter
@@ -56,14 +56,12 @@ def test_ablation_filter_family(report, benchmark):
         measured[name] = fpr
         bits = f.size_bytes * 8 / population
         rows.append([name, round(bits, 2), f"{fpr * 100:.3f}%", probes_desc])
-    report(
-        render_table(
-            ["filter", "bits/key", "measured fpr", "probe structure"],
-            rows,
-            title=f"Ablation — membership filters on {NKEYS:,} keys (12-bit budget class)",
-        ),
-        name="ablation_filters",
+    text, data = table_artifact(
+        ["filter", "bits/key", "measured fpr", "probe structure"],
+        rows,
+        title=f"Ablation — membership filters on {NKEYS:,} keys (12-bit budget class)",
     )
+    report(text, name="ablation_filters", data=data)
     # All five in the same fpr regime, none with false negatives.
     for name, f, population, _ in entries:
         sample = keys[: min(2000, population)]

@@ -9,7 +9,7 @@ FilterKV's read-path premium that recovers.
 import numpy as np
 import pytest
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.cluster import SimCluster
 from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
 from repro.core.kv import random_kv_batch
@@ -56,14 +56,12 @@ def test_ablation_reader_caching(report, benchmark):
         warm_reads = sum(warm.get(k)[1].reads for k in keys) / len(keys)
         gains[fmt.name] = cold_reads / warm_reads
         rows.append([fmt.name, round(cold_reads, 2), round(warm_reads, 2), round(gains[fmt.name], 2)])
-    report(
-        render_table(
-            ["format", "cold reads/query", "warm reads/query", "speedup"],
-            rows,
-            title=f"Ablation — reader caching over {NQUERIES} queries, {NRANKS} partitions",
-        ),
-        name="ablation_reader",
+    text, data = table_artifact(
+        ["format", "cold reads/query", "warm reads/query", "speedup"],
+        rows,
+        title=f"Ablation — reader caching over {NQUERIES} queries, {NRANKS} partitions",
     )
+    report(text, name="ablation_reader", data=data)
     # Everyone gains; FilterKV gains the most (aux + extra partition opens
     # are exactly what caching amortizes).
     assert all(g > 1.5 for g in gains.values())

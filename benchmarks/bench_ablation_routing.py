@@ -10,7 +10,7 @@ node-local copies.
 
 import pytest
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.cluster import SimCluster
 from repro.core.formats import FMT_FILTERKV
 
@@ -42,14 +42,12 @@ def test_ablation_routing(report, benchmark):
                 round(st.shuffle_bytes / max(1, st.rpc_messages)),
             ]
         )
-    report(
-        render_table(
-            ["routing", "wire RPCs", "local msgs", "avg wire payload B"],
-            rows,
-            title="Ablation — shuffle routing (32 ranks × 4 per node, FilterKV)",
-        ),
-        name="ablation_routing",
+    text, data = table_artifact(
+        ["routing", "wire RPCs", "local msgs", "avg wire payload B"],
+        rows,
+        title="Ablation — shuffle routing (32 ranks × 4 per node, FilterKV)",
     )
+    report(text, name="ablation_routing", data=data)
     d, t = stats["direct"], stats["3hop"]
     assert t.rpc_messages < d.rpc_messages  # fewer wire messages
     assert t.shuffle_bytes == d.shuffle_bytes  # identical payload bytes
@@ -70,14 +68,12 @@ def test_ablation_routing_scaling(report, benchmark):
         ratio = d.rpc_messages / t.rpc_messages
         ratios.append(ratio)
         rows.append([records, d.rpc_messages, t.rpc_messages, round(ratio, 2)])
-    report(
-        render_table(
-            ["records/rank", "direct RPCs", "3hop RPCs", "reduction"],
-            rows,
-            title="Ablation — 3-hop advantage vs burst size",
-        ),
-        name="ablation_routing_scaling",
+    text, data = table_artifact(
+        ["records/rank", "direct RPCs", "3hop RPCs", "reduction"],
+        rows,
+        title="Ablation — 3-hop advantage vs burst size",
     )
+    report(text, name="ablation_routing_scaling", data=data)
     assert ratios[0] >= ratios[-1]  # small bursts benefit most
     assert ratios[0] > 2.0
     benchmark(lambda: _run("direct", nranks=8, records=500))

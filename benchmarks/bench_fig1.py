@@ -11,7 +11,7 @@ Four panels, all regenerated on the discrete-event RPC model:
 
 from dataclasses import replace
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.net.cpu import CPUS
 from repro.net.flowmodel import pernode_alltoall_bandwidth
 from repro.net.rpc import measure_rpc_latency
@@ -34,14 +34,12 @@ def _latency_table(mode: str, cpus=CPU_SET, profile_map=None) -> list[list]:
 
 def test_fig1a_rpc_latency_polling(report, benchmark):
     rows = _latency_table("polling")
-    report(
-        render_table(
-            ["msg bytes", *CPU_SET],
-            rows,
-            title="Fig. 1a — RPC latency, polling mode (µs round trip)",
-        ),
-        name="fig1a",
+    text, data = table_artifact(
+        ["msg bytes", *CPU_SET],
+        rows,
+        title="Fig. 1a — RPC latency, polling mode (µs round trip)",
     )
+    report(text, name="fig1a", data=data)
     # Paper anchor: KNL ≈ 4× Haswell.
     ratio = rows[0][2] / rows[0][1]
     assert 3.0 < ratio < 5.0
@@ -56,14 +54,12 @@ def test_fig1b_mpi_pingpong(report, benchmark):
         for name in CPU_SET
     }
     rows = _latency_table("polling", profile_map=mpi_profiles)
-    report(
-        render_table(
-            ["msg bytes", *CPU_SET],
-            rows,
-            title="Fig. 1b — MPI ping-pong latency (µs)",
-        ),
-        name="fig1b",
+    text, data = table_artifact(
+        ["msg bytes", *CPU_SET],
+        rows,
+        title="Fig. 1b — MPI ping-pong latency (µs)",
     )
+    report(text, name="fig1b", data=data)
     # Still ~4× between KNL and Haswell, at much lower absolute values.
     assert rows[0][1] < 10.0
     assert 2.5 < rows[0][2] / rows[0][1] < 5.5
@@ -75,14 +71,12 @@ def test_fig1b_mpi_pingpong(report, benchmark):
 def test_fig1c_rpc_latency_blocking(report, benchmark):
     rows_block = _latency_table("blocking")
     rows_poll = _latency_table("polling")
-    report(
-        render_table(
-            ["msg bytes", *CPU_SET],
-            rows_block,
-            title="Fig. 1c — RPC latency, blocking mode (µs round trip)",
-        ),
-        name="fig1c",
+    text, data = table_artifact(
+        ["msg bytes", *CPU_SET],
+        rows_block,
+        title="Fig. 1c — RPC latency, blocking mode (µs round trip)",
     )
+    report(text, name="fig1c", data=data)
     # Blocking hurts everywhere, and hurts KNL more in absolute terms.
     for rb, rp in zip(rows_block, rows_poll):
         assert rb[1] > rp[1] and rb[2] > rp[2]
@@ -99,14 +93,12 @@ def test_fig1d_bandwidth_vs_ppn(report, benchmark):
             bw = pernode_alltoall_bandwidth(cpu, "gni", ARIES_DRAGONFLY, 32, ppn, 16384)
             row.append(round(bw.bandwidth / 1e6))
         rows.append(row)
-    report(
-        render_table(
-            ["PPN", "trinity-haswell MB/s", "trinity-knl MB/s"],
-            rows,
-            title="Fig. 1d — per-node all-to-all RPC bandwidth, 16 KB msgs, 32 nodes",
-        ),
-        name="fig1d",
+    text, data = table_artifact(
+        ["PPN", "trinity-haswell MB/s", "trinity-knl MB/s"],
+        rows,
+        title="Fig. 1d — per-node all-to-all RPC bandwidth, 16 KB msgs, 32 nodes",
     )
+    report(text, name="fig1d", data=data)
     # Paper anchors: Haswell plateau ~3× the KNL plateau despite fewer cores.
     hs_plateau, knl_plateau = rows[-1][1], rows[-1][2]
     assert 2.3 < hs_plateau / knl_plateau < 5.0

@@ -11,7 +11,7 @@ write phase is evaluated on the Trinity-KNL machine model.
 
 import pytest
 
-from repro.analysis.reporting import percent, render_table
+from repro.analysis.reporting import percent, table_artifact
 from repro.apps.vpic import PARTICLE_BYTES, VPICSimulation
 from repro.cluster import TRINITY_KNL
 from repro.cluster.burstbuffer import FIG10_RATIOS, BurstBufferAllocation
@@ -48,14 +48,12 @@ def test_fig10_workload_matches_paper(report, benchmark):
     frac = sim.migration_fraction(before)
     dumps = benchmark(sim.dump)
     assert all(b.record_bytes == 64 for b in dumps)
-    report(
-        render_table(
-            ["ranks", "particles", "record bytes", "migrated since last dump"],
-            [[32, sim.nparticles, 64, f"{frac * 100:.1f}%"]],
-            title="Fig. 10 workload check — reduced VPIC dump properties",
-        ),
-        name="fig10_workload",
+    text, data = table_artifact(
+        ["ranks", "particles", "record bytes", "migrated since last dump"],
+        [[32, sim.nparticles, 64, f"{frac * 100:.1f}%"]],
+        title="Fig. 10 workload check — reduced VPIC dump properties",
     )
+    report(text, name="fig10_workload", data=data)
     assert 0.02 < frac < 0.9
 
 
@@ -72,14 +70,12 @@ def test_fig10a_slowdown_vs_storage_bandwidth(report, benchmark):
             series[fmt.name].append(s)
             row.append(percent(s))
         rows.append(row)
-    report(
-        render_table(
-            ["comp:stor", "GB/s", "KNL-Base", "KNL-DataPtr", "KNL-FilterKV"],
-            rows,
-            title="Fig. 10a — VPIC write slowdown vs available storage bandwidth",
-        ),
-        name="fig10a",
+    text, data = table_artifact(
+        ["comp:stor", "GB/s", "KNL-Base", "KNL-DataPtr", "KNL-FilterKV"],
+        rows,
+        title="Fig. 10a — VPIC write slowdown vs available storage bandwidth",
     )
+    report(text, name="fig10a", data=data)
     base, dptr, fkv = series["base"], series["dataptr"], series["filterkv"]
     # Paper: higher storage bandwidth → partitioning overhead dominates.
     assert base[-1] > base[0] and fkv[-1] >= fkv[0]
@@ -115,14 +111,12 @@ def test_fig10b_tcp_vs_gni(report, benchmark):
                 percent(base_tcp),
             ]
         )
-    report(
-        render_table(
-            ["comp:stor", "GB/s", "FilterKV", "FilterKV-TCP", "Base", "Base-TCP"],
-            rows,
-            title="Fig. 10b — FilterKV on TCP vs GNI (base shown for contrast)",
-        ),
-        name="fig10b",
+    text, data = table_artifact(
+        ["comp:stor", "GB/s", "FilterKV", "FilterKV-TCP", "Base", "Base-TCP"],
+        rows,
+        title="Fig. 10b — FilterKV on TCP vs GNI (base shown for contrast)",
     )
+    report(text, name="fig10b", data=data)
     # Paper: FilterKV makes TCP "almost identical" to GNI; the base format
     # pays for the slower transport.
     for fkv_gap, base_gap in gap.values():

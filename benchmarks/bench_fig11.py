@@ -16,7 +16,7 @@ partitions.
 import numpy as np
 import pytest
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.cluster import SimCluster
 from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
 from repro.core.kv import random_kv_batch
@@ -88,14 +88,12 @@ def test_fig11a_query_latency(report, benchmark, datasets, query_results):
         rows.append(
             [f"KNL-{fmt.name}", round(lats.min()), round(np.median(lats)), round(lats.max())]
         )
-    report(
-        render_table(
-            ["scheme", "min ms", "median ms", "max ms"],
-            rows,
-            title=f"Fig. 11a — query latency over {NQUERIES} point queries",
-        ),
-        name="fig11a",
+    text, data = table_artifact(
+        ["scheme", "min ms", "median ms", "max ms"],
+        rows,
+        title=f"Fig. 11a — query latency over {NQUERIES} point queries",
     )
+    report(text, name="fig11a", data=data)
     # Paper: 190 / 250 / 440 ms medians; shape = base ≤ dataptr ≤ filterkv,
     # FilterKV also having by far the largest tail (false-positive probes).
     # Our scaled dataset is seek-dominated rather than transfer-dominated,
@@ -123,14 +121,12 @@ def test_fig11b_storage_reads_breakdown(report, benchmark, query_results):
             for cat in CATEGORIES
         ]
         rows.append([f"KNL-{fmt.name}", round(avg, 2), *breakdown])
-    report(
-        render_table(
-            ["scheme", "avg reads", *CATEGORIES],
-            rows,
-            title="Fig. 11b — storage reads per query and cost breakdown",
-        ),
-        name="fig11b",
+    text, data = table_artifact(
+        ["scheme", "avg reads", *CATEGORIES],
+        rows,
+        title="Fig. 11b — storage reads per query and cost breakdown",
     )
+    report(text, name="fig11b", data=data)
     # Paper: base ≈ 3.1 reads; DataPtr = base + 1 (value log); FilterKV
     # highest (aux read + ~1.9 partitions × (footer+index+data)).
     assert 2.8 < avg_reads["base"] < 3.6
@@ -154,14 +150,12 @@ def test_fig11c_data_fetched_breakdown(report, benchmark, query_results):
             for cat in CATEGORIES
         ]
         rows.append([f"KNL-{fmt.name}", round(avg, 3), *breakdown])
-    report(
-        render_table(
-            ["scheme", "avg MB", *CATEGORIES],
-            rows,
-            title="Fig. 11c — data fetched per query (MB) and cost breakdown",
-        ),
-        name="fig11c",
+    text, data = table_artifact(
+        ["scheme", "avg MB", *CATEGORIES],
+        rows,
+        title="Fig. 11c — data fetched per query (MB) and cost breakdown",
     )
+    report(text, name="fig11c", data=data)
     # Paper shape: FilterKV fetches the most (whole aux table + extra
     # partitions); DataPtr ≈ base + a small value-log read.
     assert avg_mb["filterkv"] > avg_mb["base"]

@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from conftest import FULL_SCALE
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.core.auxtable import BloomAuxTable, CuckooAuxTable, ExactAuxTable
 from repro.storage.compression import compress
 
@@ -71,14 +71,12 @@ def test_fig7a_query_amplification(report, benchmark, fig7_data):
         rows.append(
             [f"{nparts:,}", round(a_exact, 2), round(a_bloom, 2), round(a_cuckoo, 2)]
         )
-    report(
-        render_table(
-            ["partitions", "Fmt-DataPtr", "Fmt-BF", "Fmt-Cuckoo"],
-            rows,
-            title=f"Fig. 7a — query amplification (partitions/query), {NKEYS:,} keys",
-        ),
-        name="fig7a",
+    text, data = table_artifact(
+        ["partitions", "Fmt-DataPtr", "Fmt-BF", "Fmt-Cuckoo"],
+        rows,
+        title=f"Fig. 7a — query amplification (partitions/query), {NKEYS:,} keys",
     )
+    report(text, name="fig7a", data=data)
     # Paper shape: DataPtr pinned at 1; BF grows with N; Cuckoo flat ~2.
     assert all(amps[n][0] == pytest.approx(1.0, abs=0.01) for n in PARTITIONS)
     bf_series = [amps[n][1] for n in PARTITIONS]
@@ -109,22 +107,20 @@ def test_fig7b_space_overhead(report, benchmark, fig7_data):
                 round(c * r_cuckoo, 2),
             ]
         )
-    report(
-        render_table(
-            [
-                "partitions",
-                "DataPtr",
-                "DataPtr(compr)",
-                "BF",
-                "BF(compr)",
-                "Cuckoo",
-                "Cuckoo(compr)",
-            ],
-            rows,
-            title=f"Fig. 7b — index bytes per key, {NKEYS:,} keys",
-        ),
-        name="fig7b",
+    text, data = table_artifact(
+        [
+            "partitions",
+            "DataPtr",
+            "DataPtr(compr)",
+            "BF",
+            "BF(compr)",
+            "Cuckoo",
+            "Cuckoo(compr)",
+        ],
+        rows,
+        title=f"Fig. 7b — index bytes per key, {NKEYS:,} keys",
     )
+    report(text, name="fig7b", data=data)
     for nparts in PARTITIONS:
         e, b, c = per_key[nparts]
         assert e == pytest.approx(12.0, abs=0.01)  # the 12-byte pointer
@@ -144,14 +140,12 @@ def test_fig7b_compression_cannot_save_dataptr(report, benchmark, fig7_data):
         r = _ratio(exact)
         ratios.append(r)
         rows.append([f"{nparts:,}", round(12 * r, 2), round(r * 100, 1)])
-    report(
-        render_table(
-            ["partitions", "DataPtr B/key after compr.", "ratio %"],
-            rows,
-            title="Fig. 7b detail — Snappy on 12-byte pointers vs partition count",
-        ),
-        name="fig7b_compression",
+    text, data = table_artifact(
+        ["partitions", "DataPtr B/key after compr.", "ratio %"],
+        rows,
+        title="Fig. 7b detail — Snappy on 12-byte pointers vs partition count",
     )
+    report(text, name="fig7b_compression", data=data)
     assert ratios[-1] > ratios[0]  # more partitions → more entropy → worse
     _, exact, _, _ = fig7_data[PARTITIONS[0]]
     blob = exact.to_bytes()[: 1 << 20]

@@ -14,7 +14,7 @@ across the paper's full sweep.
 import pytest
 
 from repro.analysis.figures import ascii_series
-from repro.analysis.reporting import percent, render_table
+from repro.analysis.reporting import percent, table_artifact
 from repro.cluster import NARWHAL, SimCluster
 from repro.core.costmodel import WriteRunConfig, model_write_phase
 from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
@@ -48,14 +48,12 @@ def test_fig8_accounting_validated_by_execution(report, benchmark):
         measured = st.shuffle_bytes_per_record
         rows.append([fmt.name, round(spec_net, 2), round(measured, 2)])
         assert measured == pytest.approx(spec_net, rel=0.03)
-    report(
-        render_table(
-            ["format", "spec net B/rec", "executed net B/rec"],
-            rows,
-            title="Fig. 8 input validation — model specs vs real pipeline execution",
-        ),
-        name="fig8_validation",
+    text, data = table_artifact(
+        ["format", "spec net B/rec", "executed net B/rec"],
+        rows,
+        title="Fig. 8 input validation — model specs vs real pipeline execution",
     )
+    report(text, name="fig8_validation", data=data)
     benchmark(
         lambda: SimCluster(nranks=4, fmt=FMT_FILTERKV, value_bytes=56, seed=1).run_epoch(2000)
     )
@@ -68,14 +66,12 @@ def test_fig8a_rpc_messages(report, benchmark):
         for fmt in FORMATS:
             row.append(model_write_phase(_cfg(fmt, nprocs, 0.5)).rpc_messages_total)
         rows.append(row)
-    report(
-        render_table(
-            ["processes", "Fmt-Base", "Fmt-DataPtr", "Fmt-FilterKV"],
-            rows,
-            title="Fig. 8a — total RPC messages exchanged",
-        ),
-        name="fig8a",
+    text, data = table_artifact(
+        ["processes", "Fmt-Base", "Fmt-DataPtr", "Fmt-FilterKV"],
+        rows,
+        title="Fig. 8a — total RPC messages exchanged",
     )
+    report(text, name="fig8a", data=data)
     # Message counts scale with payload: base ≈ 4× dataptr ≈ 8× filterkv.
     last = rows[-1]
     assert last[1] > 3.5 * last[2] > 6 * last[3] / 2
@@ -93,7 +89,7 @@ def test_fig8bc_write_slowdown(report, benchmark, resid, panel):
             series[fmt.name].append(s)
             row.append(percent(s))
         rows.append(row)
-    table = render_table(
+    table, data = table_artifact(
         ["processes", "Fmt-Base", "Fmt-DataPtr", "Fmt-FilterKV"],
         rows,
         title=f"Fig. {panel[-2:]} — write slowdown, {int(resid * 100)}% residual bandwidth",
@@ -104,7 +100,7 @@ def test_fig8bc_write_slowdown(report, benchmark, resid, panel):
         logy=True,
         title="write slowdown (%), log scale",
     )
-    report(table + "\n\n" + chart, name=panel)
+    report(table + "\n\n" + chart, name=panel, data=data)
     # Paper shape: FilterKV < DataPtr < Base everywhere; base grows steeply.
     for i in range(len(PROCS)):
         assert series["filterkv"][i] < series["dataptr"][i] < series["base"][i]

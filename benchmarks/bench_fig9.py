@@ -9,7 +9,7 @@ is between 32 and 64 bytes").
 
 import pytest
 
-from repro.analysis.reporting import percent, render_table
+from repro.analysis.reporting import percent, table_artifact
 from repro.cluster import NARWHAL
 from repro.core.costmodel import WriteRunConfig, model_write_phase
 from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
@@ -37,14 +37,12 @@ def test_fig9a_rpc_messages(report, benchmark):
         for fmt in FORMATS:
             row.append(model_write_phase(_cfg(fmt, kv, 0.5)).rpc_messages_total)
         rows.append(row)
-    report(
-        render_table(
-            ["KV bytes", "Fmt-Base", "Fmt-DataPtr", "Fmt-FilterKV"],
-            rows,
-            title="Fig. 9a — total RPC messages vs KV size (256 processes)",
-        ),
-        name="fig9a",
+    text, data = table_artifact(
+        ["KV bytes", "Fmt-Base", "Fmt-DataPtr", "Fmt-FilterKV"],
+        rows,
+        title="Fig. 9a — total RPC messages vs KV size (256 processes)",
     )
+    report(text, name="fig9a", data=data)
     # Base message count is flat (ships everything); indirection counts
     # fall as records get bigger (fewer records per byte).
     base_first, base_last = rows[0][1], rows[-1][1]
@@ -64,14 +62,12 @@ def test_fig9bc_write_slowdown(report, benchmark, resid, panel):
             series[fmt.name].append(s)
             row.append(percent(s))
         rows.append(row)
-    report(
-        render_table(
-            ["KV bytes", "Fmt-Base", "Fmt-DataPtr", "Fmt-FilterKV"],
-            rows,
-            title=f"Fig. {panel[-2:]} — write slowdown vs KV size, {int(resid*100)}% residual bw",
-        ),
-        name=panel,
+    text, data = table_artifact(
+        ["KV bytes", "Fmt-Base", "Fmt-DataPtr", "Fmt-FilterKV"],
+        rows,
+        title=f"Fig. {panel[-2:]} — write slowdown vs KV size, {int(resid*100)}% residual bw",
     )
+    report(text, name=panel, data=data)
     base, dptr, fkv = series["base"], series["dataptr"], series["filterkv"]
     # Paper shape: base ~flat in KV size; indirection formats improve with
     # KV size; FilterKV beats DataPtr everywhere, most at small KV.

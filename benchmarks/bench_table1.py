@@ -8,7 +8,7 @@ reduced scale and measuring partitions per query.
 import numpy as np
 
 from repro.analysis.models import TABLE1_MACHINES, bloom_bytes_per_key_for_bound
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import table_artifact
 from repro.core.auxtable import BloomAuxTable
 
 
@@ -26,14 +26,12 @@ def test_table1_budgets(report, benchmark):
                 round(m.paper_b10, 2),
             ]
         )
-    report(
-        render_table(
-            ["rank", "machine", "cores", "b2", "b2(paper)", "b10", "b10(paper)"],
-            rows,
-            title="Table I — Bloom filter bytes/key bounding partitions/query",
-        ),
-        name="table1",
+    text, data = table_artifact(
+        ["rank", "machine", "cores", "b2", "b2(paper)", "b10", "b10(paper)"],
+        rows,
+        title="Table I — Bloom filter bytes/key bounding partitions/query",
     )
+    report(text, name="table1", data=data)
     benchmark(lambda: [bloom_bytes_per_key_for_bound(m.cores, 2) for m in TABLE1_MACHINES])
 
 
@@ -49,12 +47,10 @@ def test_table1_bound_holds_empirically(report, benchmark):
     table.insert_many(keys, ranks)
     sample = keys[:256]
     amp = benchmark(lambda: table.candidate_counts(sample).mean())
-    report(
-        render_table(
-            ["partitions", "budget B/key", "target bound", "measured partitions/query"],
-            [[nparts, round(budget_bytes, 2), 2, round(float(amp), 2)]],
-            title="Table I cross-check — empirical bound at the b2 budget",
-        ),
-        name="table1_empirical",
+    text, data = table_artifact(
+        ["partitions", "budget B/key", "target bound", "measured partitions/query"],
+        [[nparts, round(budget_bytes, 2), 2, round(float(amp), 2)]],
+        title="Table I cross-check — empirical bound at the b2 budget",
     )
+    report(text, name="table1_empirical", data=data)
     assert amp < 3.0  # the b2 budget must deliver ~2 partitions/query

@@ -6,6 +6,12 @@ prints the same rows/series the paper reports and saves them under
 benchmark fixture times each harness's representative kernel so
 ``pytest benchmarks/ --benchmark-only`` exercises everything.
 
+Machine-readable mode: ``pytest benchmarks/ --json`` additionally writes
+``results/<name>.json`` for every experiment that hands the ``report``
+fixture structured data (the `table_artifact` helper returns both the
+rendered text and that payload).  The JSON carries the versioned
+``repro.bench/v1`` envelope so trajectory tooling can diff runs.
+
 Environment knobs:
 
 * ``REPRO_BENCH_FULL=1`` — run Fig. 7 at the paper's full 16 M keys
@@ -14,24 +20,47 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
 import pytest
+
+from repro.analysis.reporting import bench_document
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store_true",
+        dest="repro_json",
+        help="also write results/<name>.json for experiments reporting structured data",
+    )
+
+
 @pytest.fixture
 def report(request):
-    """Save (and echo) one experiment's rendered output."""
+    """Save (and echo) one experiment's rendered output.
 
-    def _save(text: str, name: str | None = None) -> None:
+    ``data`` is the machine-readable twin of ``text`` (usually from
+    `repro.analysis.reporting.table_artifact`); it is serialized to
+    ``results/<name>.json`` when the run was started with ``--json``.
+    """
+    want_json = request.config.getoption("repro_json", False)
+
+    def _save(text: str, name: str | None = None, data: dict | None = None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         fname = name or request.node.name.replace("[", "_").replace("]", "")
         (RESULTS_DIR / f"{fname}.txt").write_text(text + "\n")
+        if want_json and data is not None:
+            doc = bench_document(fname, data)
+            (RESULTS_DIR / f"{fname}.json").write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            )
         print("\n" + text)
 
     return _save

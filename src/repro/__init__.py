@@ -14,7 +14,9 @@ Data Partitioning* (IEEE CLUSTER 2019), as an installable Python library:
 * ``repro.core`` — the three partitioning formats (Base, DataPtr,
   FilterKV), auxiliary tables, write pipelines, read path, cost model;
 * ``repro.apps`` — a reduced VPIC particle workload and KV generators;
-* ``repro.analysis`` — Table I math and report rendering.
+* ``repro.analysis`` — Table I math and report rendering;
+* ``repro.obs`` — unified telemetry: labeled counter/gauge/histogram
+  registry threaded through every layer, JSON/JSONL export.
 
 Quickstart::
 
@@ -30,6 +32,7 @@ __version__ = "0.1.0"
 
 from .cluster import SimCluster
 from .core import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV, QueryEngine
+from .obs import MetricsRegistry
 
 __all__ = [
     "__version__",
@@ -38,4 +41,5 @@ __all__ = [
     "FMT_DATAPTR",
     "FMT_FILTERKV",
     "QueryEngine",
+    "MetricsRegistry",
 ]

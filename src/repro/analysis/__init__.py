@@ -10,7 +10,17 @@ from .models import (
 )
 from .figures import ascii_bars, ascii_series
 from .tradeoffs import kv_size_crossover, storage_bandwidth_crossover
-from .reporting import banner, format_value, mb, percent, render_table
+from .reporting import (
+    BENCH_SCHEMA,
+    banner,
+    bench_document,
+    format_value,
+    mb,
+    percent,
+    render_table,
+    table_artifact,
+    table_data,
+)
 
 __all__ = [
     "CalibrationCheck",
@@ -29,4 +39,8 @@ __all__ = [
     "mb",
     "percent",
     "render_table",
+    "table_artifact",
+    "table_data",
+    "bench_document",
+    "BENCH_SCHEMA",
 ]

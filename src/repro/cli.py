@@ -4,7 +4,10 @@ Commands:
 
 * ``info``     — package, module, and machine inventory;
 * ``compare``  — run all three formats on a simulated cluster and print
-  the measured network/storage/message costs;
+  the measured network/storage/message costs (``--metrics-out FILE``
+  additionally captures every telemetry series as JSON);
+* ``metrics``  — run an instrumented simulation and emit the full
+  metrics registry as JSON or JSONL;
 * ``advise``   — recommend a format for a deployment (machine, job size,
   KV size, read weight);
 * ``table1``   — print the paper's Table I from the Bloom math;
@@ -38,6 +41,36 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--records", type=int, default=10_000, help="records per rank")
     c.add_argument("--value-bytes", type=int, default=56)
     c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="also write every telemetry series (all layers, all formats) as JSON",
+    )
+    c.add_argument(
+        "--queries",
+        type=int,
+        default=256,
+        help="point queries sampled per format for read-path metrics "
+        "(only with --metrics-out)",
+    )
+
+    m = sub.add_parser("metrics", help="run an instrumented simulation, emit telemetry")
+    m.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["base", "dataptr", "filterkv", "all"],
+        default="all",
+    )
+    m.add_argument("--ranks", type=int, default=4)
+    m.add_argument("--records", type=int, default=5_000, help="records per rank")
+    m.add_argument("--value-bytes", type=int, default=56)
+    m.add_argument("--seed", type=int, default=0)
+    m.add_argument("--queries", type=int, default=256, help="point queries to sample")
+    m.add_argument("--out", metavar="FILE", default="-", help="output file ('-' = stdout)")
+    m.add_argument(
+        "--jsonl", action="store_true", help="one series per line instead of a document"
+    )
 
     a = sub.add_parser("advise", help="recommend a format for a deployment")
     a.add_argument("--machine", default="narwhal")
@@ -85,21 +118,87 @@ def _cmd_table1() -> str:
     return render_table(["rank", "machine", "cores", "b2 B/key", "b10 B/key"], rows)
 
 
+def _instrumented_run(fmt, ranks, records, value_bytes, seed, queries):
+    """One epoch (plus a query sample) with telemetry on.
+
+    Returns ``(registry, cluster_stats)``.  The registry holds every series
+    the run produced — pipeline, aux/filter, storage, reader — including
+    compression counters, which flow through the process-wide default
+    registry installed for the duration of the run.
+    """
+    from .cluster.simcluster import SimCluster
+    from .core.kv import random_kv_batch
+    from .obs import MetricsRegistry, set_default_registry
+
+    registry = MetricsRegistry(fmt.name)
+    prev = set_default_registry(registry)
+    try:
+        cluster = SimCluster(
+            nranks=ranks,
+            fmt=fmt,
+            value_bytes=value_bytes,
+            records_hint=ranks * records,
+            seed=seed,
+            metrics=registry,
+        )
+        # Same generation loop as SimCluster.run_epoch (one seeded stream,
+        # 4096-record batches), but keeping each rank's first batch so the
+        # query sample spans every source rank — sampling only rank 0 would
+        # always find the key at the first (lowest) candidate and hide read
+        # amplification.
+        pools = []
+        rng = np.random.default_rng(seed)
+        for rank in range(ranks):
+            remaining = records
+            first = True
+            while remaining > 0:
+                n = min(4096, remaining)
+                batch = random_kv_batch(n, value_bytes, rng)
+                if first:
+                    pools.append(batch.keys)
+                    first = False
+                cluster.put(rank, batch)
+                remaining -= n
+        cluster.finish_epoch()
+        st = cluster.stats
+        if queries > 0:
+            engine = cluster.query_engine()
+            for i in range(queries):
+                pool = pools[i % ranks]
+                engine.get(int(pool[(i * 37) % len(pool)]))
+    finally:
+        set_default_registry(prev)
+    return registry, st
+
+
 def _cmd_compare(args) -> str:
     from .analysis.reporting import render_table
     from .cluster.simcluster import SimCluster
     from .core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
 
+    metrics_out = getattr(args, "metrics_out", None)
+    merged = None
+    if metrics_out:
+        from .obs import MetricsRegistry
+
+        merged = MetricsRegistry("compare")
+
     rows = []
     for fmt in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV):
-        cluster = SimCluster(
-            nranks=args.ranks,
-            fmt=fmt,
-            value_bytes=args.value_bytes,
-            records_hint=args.ranks * args.records,
-            seed=args.seed,
-        )
-        st = cluster.run_epoch(args.records)
+        if merged is not None:
+            registry, st = _instrumented_run(
+                fmt, args.ranks, args.records, args.value_bytes, args.seed, args.queries
+            )
+            merged.merge(registry, format=fmt.name)
+        else:
+            cluster = SimCluster(
+                nranks=args.ranks,
+                fmt=fmt,
+                value_bytes=args.value_bytes,
+                records_hint=args.ranks * args.records,
+                seed=args.seed,
+            )
+            st = cluster.run_epoch(args.records)
         rows.append(
             [
                 fmt.name,
@@ -109,12 +208,41 @@ def _cmd_compare(args) -> str:
                 round(st.aux_bytes / st.records, 2) if st.aux_bytes else "-",
             ]
         )
-    return render_table(
+    out = render_table(
         ["format", "msgs", "net B/rec", "disk B/rec", "aux B/key"],
         rows,
         title=f"{args.ranks} ranks × {args.records} records × "
         f"{8 + args.value_bytes} B KV pairs",
     )
+    if merged is not None:
+        import pathlib
+
+        from .obs import registry_to_json
+
+        pathlib.Path(metrics_out).write_text(registry_to_json(merged) + "\n")
+        out += f"\nmetrics: {len(merged)} series -> {metrics_out}"
+    return out
+
+
+def _cmd_metrics(args) -> str:
+    from .core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
+    from .obs import MetricsRegistry, dump_jsonl, registry_to_json
+
+    by_name = {f.name: f for f in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV)}
+    formats = list(by_name.values()) if args.fmt == "all" else [by_name[args.fmt]]
+    merged = MetricsRegistry("metrics")
+    for fmt in formats:
+        registry, _ = _instrumented_run(
+            fmt, args.ranks, args.records, args.value_bytes, args.seed, args.queries
+        )
+        merged.merge(registry, format=fmt.name)
+    text = dump_jsonl(merged) if args.jsonl else registry_to_json(merged) + "\n"
+    if args.out != "-":
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text)
+        return f"metrics: {len(merged)} series -> {args.out}"
+    return text.rstrip("\n")
 
 
 def _cmd_advise(args) -> str:
@@ -146,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
         print(out[args.command]())
     elif args.command == "compare":
         print(_cmd_compare(args))
+    elif args.command == "metrics":
+        print(_cmd_metrics(args))
     elif args.command == "advise":
         print(_cmd_advise(args))
     return 0

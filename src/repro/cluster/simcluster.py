@@ -26,6 +26,7 @@ from ..core.kv import KVBatch, random_kv_batch
 from ..core.partitioning import HashPartitioner
 from ..core.pipeline import Envelope, ReceiverState, WriterState
 from ..core.routing import DirectRouter, ThreeHopRouter
+from ..obs import MetricsRegistry, active
 from ..storage.blockio import DeviceProfile, StorageDevice
 
 __all__ = ["SimCluster", "ClusterStats"]
@@ -71,6 +72,7 @@ class SimCluster:
         seed: int = 0,
         routing: str = "direct",
         ppn: int = 1,
+        metrics: MetricsRegistry | None = None,
     ):
         if nranks < 2:
             raise ValueError("need at least 2 ranks to partition data")
@@ -82,7 +84,12 @@ class SimCluster:
         self.batch_bytes = batch_bytes
         self.epoch = epoch
         self.seed = seed
-        self.device = device if device is not None else StorageDevice(device_profile)
+        self.metrics = active(metrics)
+        self.device = (
+            device
+            if device is not None
+            else StorageDevice(device_profile, metrics=self.metrics)
+        )
         self.partitioner = HashPartitioner(nranks)
         if routing == "3hop":
             self.router = ThreeHopRouter(self._deliver, ppn=ppn, batch_bytes=batch_bytes)
@@ -102,6 +109,7 @@ class SimCluster:
                 block_size=block_size,
                 capacity_hint=self._hint_per_rank,
                 aux_seed=seed,
+                metrics=self.metrics,
             )
             for r in range(nranks)
         ]
@@ -116,6 +124,7 @@ class SimCluster:
                 batch_bytes=batch_bytes,
                 epoch=epoch,
                 block_size=block_size,
+                metrics=self.metrics,
             )
             for r in range(nranks)
         ]
@@ -190,6 +199,11 @@ class SimCluster:
             local_messages=self.router.local_messages,
         )
 
+    def metrics_rollup(self) -> MetricsRegistry:
+        """Cluster-wide view of the per-rank series (``rank`` label
+        dropped, per-rank counters summed)."""
+        return self.metrics.rollup("rank")
+
     def query_engine(self):
         """Read path over this cluster's persisted output."""
         from ..core.reader import QueryEngine  # local import: avoid cycle
@@ -203,4 +217,5 @@ class SimCluster:
             partitioner=self.partitioner,
             aux_tables=[r.aux for r in self.receivers],
             epoch=self.epoch,
+            metrics=self.metrics,
         )

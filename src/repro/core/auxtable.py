@@ -34,6 +34,7 @@ from ..filters.cuckoo import ChainedCuckooTable
 from ..filters.hashing import hash_pair
 from ..filters.quotient import QuotientFilter
 from ..filters.xorfilter import XorFilter
+from ..obs import MetricsRegistry, active
 
 __all__ = [
     "AuxTable",
@@ -70,22 +71,42 @@ def _pack_bits(values: np.ndarray, bits: int) -> bytes:
 
 
 class AuxTable(ABC):
-    """Common interface over the four backends."""
+    """Common interface over the four backends.
 
-    def __init__(self, nparts: int):
+    Probe accounting lives here: the public `candidate_ranks` /
+    `candidate_counts` wrap backend-specific ``_candidate_*`` hooks and
+    report probes, candidates returned, and false candidates (everything
+    beyond the one true rank) into the optional metrics registry, so
+    every backend is measured identically.
+    """
+
+    backend = "abstract"
+
+    def __init__(
+        self,
+        nparts: int,
+        metrics: MetricsRegistry | None = None,
+        metric_labels: dict | None = None,
+    ):
         if nparts < 1:
             raise ValueError(f"nparts must be >= 1, got {nparts}")
         self.nparts = int(nparts)
         self._nkeys = 0
+        self.metrics = active(metrics)
+        self._labels = {k: str(v) for k, v in (metric_labels or {}).items()}
+        labels = dict(backend=self.backend, **self._labels)
+        self._m_inserts = self.metrics.counter("aux.inserts", **labels)
+        self._m_probes = self.metrics.counter("aux.probes", **labels)
+        self._m_candidates = self.metrics.counter("aux.candidates", **labels)
+        self._m_false = self.metrics.counter("aux.false_candidates", **labels)
 
     @abstractmethod
     def insert_many(self, keys: np.ndarray, src_ranks: np.ndarray | int) -> None:
         """Record that each key's data lives at the given source rank."""
 
     @abstractmethod
-    def candidate_ranks(self, key: int) -> np.ndarray:
-        """Sorted distinct ranks that *may* hold the key (must include the
-        true one — no false negatives)."""
+    def _candidate_ranks(self, key: int) -> np.ndarray:
+        """Backend lookup for `candidate_ranks` (uninstrumented)."""
 
     @abstractmethod
     def to_bytes(self) -> bytes:
@@ -96,10 +117,37 @@ class AuxTable(ABC):
     def size_bytes(self) -> int:
         """On-storage index size in bytes."""
 
-    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+    def candidate_ranks(self, key: int) -> np.ndarray:
+        """Sorted distinct ranks that *may* hold the key (must include the
+        true one — no false negatives)."""
+        ranks = self._candidate_ranks(int(key))
+        self._m_probes.inc()
+        n = len(ranks)
+        self._m_candidates.inc(n)
+        if n > 1:
+            self._m_false.inc(n - 1)
+        return ranks
+
+    def candidate_counts(self, keys: np.ndarray, **kwargs) -> np.ndarray:
         """Query amplification per key (Fig. 7a's metric)."""
         keys = np.asarray(keys, dtype=np.uint64).ravel()
-        return np.asarray([len(self.candidate_ranks(int(k))) for k in keys], dtype=np.int64)
+        counts = self._candidate_counts(keys, **kwargs)
+        self._m_probes.inc(keys.size)
+        self._m_candidates.inc(int(counts.sum()))
+        extra = int(np.maximum(counts - 1, 0).sum())
+        if extra:
+            self._m_false.inc(extra)
+        return counts
+
+    def _candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+        return np.asarray([len(self._candidate_ranks(int(k))) for k in keys], dtype=np.int64)
+
+    def record_structure_metrics(self) -> None:
+        """Snapshot structural gauges (called once, when the table is
+        persisted).  Subclasses add backend-specific gauges."""
+        labels = dict(backend=self.backend, **self._labels)
+        self.metrics.gauge("aux.keys", **labels).set(self._nkeys)
+        self.metrics.gauge("aux.size_bytes", **labels).set(self.size_bytes)
 
     def __len__(self) -> int:
         return self._nkeys
@@ -113,6 +161,7 @@ class AuxTable(ABC):
         ranks = np.broadcast_to(np.asarray(src_ranks, dtype=np.uint64), keys.shape)
         if ranks.size and int(ranks.max()) >= self.nparts:
             raise ValueError(f"rank {int(ranks.max())} out of range for {self.nparts} partitions")
+        self._m_inserts.inc(keys.size)
         return keys, ranks
 
 
@@ -124,9 +173,10 @@ class ExactAuxTable(AuxTable):
     """
 
     POINTER_BYTES = 12
+    backend = "exact"
 
-    def __init__(self, nparts: int):
-        super().__init__(nparts)
+    def __init__(self, nparts: int, **obs_kwargs):
+        super().__init__(nparts, **obs_kwargs)
         self._key_chunks: list[np.ndarray] = []
         self._rank_chunks: list[np.ndarray] = []
         self._offset_chunks: list[np.ndarray] = []
@@ -167,15 +217,14 @@ class ExactAuxTable(AuxTable):
             self._sorted = (keys[order], ranks[order])
         return self._sorted
 
-    def candidate_ranks(self, key: int) -> np.ndarray:
+    def _candidate_ranks(self, key: int) -> np.ndarray:
         keys, ranks = self._ensure_sorted()
         lo = np.searchsorted(keys, np.uint64(key), side="left")
         hi = np.searchsorted(keys, np.uint64(key), side="right")
         return np.unique(ranks[lo:hi]).astype(np.int64)
 
-    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+    def _candidate_counts(self, keys: np.ndarray) -> np.ndarray:
         skeys, _ = self._ensure_sorted()
-        keys = np.asarray(keys, dtype=np.uint64).ravel()
         lo = np.searchsorted(skeys, keys, side="left")
         hi = np.searchsorted(skeys, keys, side="right")
         # Exact pointers: every stored occurrence is a distinct precise hit;
@@ -205,14 +254,17 @@ class ExactAuxTable(AuxTable):
 class BloomAuxTable(AuxTable):
     """Bloom-filter aux table: insert key‖rank, probe every rank (§IV-A)."""
 
+    backend = "bloom"
+
     def __init__(
         self,
         nparts: int,
         capacity_hint: int,
         bits_per_key: float | None = None,
         seed: int = 0,
+        **obs_kwargs,
     ):
-        super().__init__(nparts)
+        super().__init__(nparts, **obs_kwargs)
         if capacity_hint <= 0:
             raise ValueError("capacity_hint must be positive")
         self.bits_per_key = bloom_bits_per_key(nparts) if bits_per_key is None else bits_per_key
@@ -223,13 +275,13 @@ class BloomAuxTable(AuxTable):
         self._filter.add_many(hash_pair(keys, ranks))
         self._nkeys += keys.size
 
-    def candidate_ranks(self, key: int) -> np.ndarray:
+    def _candidate_ranks(self, key: int) -> np.ndarray:
         ranks = np.arange(self.nparts, dtype=np.uint64)
         keys = np.full(self.nparts, key, dtype=np.uint64)
         hits = self._filter.contains_many(hash_pair(keys, ranks))
         return np.nonzero(hits)[0].astype(np.int64)
 
-    def candidate_counts(
+    def _candidate_counts(
         self, keys: np.ndarray, exhaustive_limit: int = 1 << 16, sample_ranks: int = 4096
     ) -> np.ndarray:
         """Amplification per key.
@@ -240,7 +292,6 @@ class BloomAuxTable(AuxTable):
         *estimated* from a random sample of non-true ranks and scaled —
         unbiased, and documented in EXPERIMENTS.md.
         """
-        keys = np.asarray(keys, dtype=np.uint64).ravel()
         if self.nparts <= exhaustive_limit:
             counts = np.zeros(keys.size, dtype=np.int64)
             chunk = max(1, (1 << 22) // max(1, keys.size))
@@ -273,6 +324,8 @@ class BloomAuxTable(AuxTable):
 class CuckooAuxTable(AuxTable):
     """Filter–index hybrid on partial-key cuckoo hash tables (§IV-B)."""
 
+    backend = "cuckoo"
+
     def __init__(
         self,
         nparts: int,
@@ -280,8 +333,9 @@ class CuckooAuxTable(AuxTable):
         fp_bits: int = 4,
         seed: int = 0,
         slots_per_bucket: int = 4,
+        **obs_kwargs,
     ):
-        super().__init__(nparts)
+        super().__init__(nparts, **obs_kwargs)
         self.fp_bits = fp_bits
         self._table = ChainedCuckooTable(
             fp_bits=fp_bits,
@@ -296,11 +350,19 @@ class CuckooAuxTable(AuxTable):
         self._table.insert_many(keys, ranks.astype(np.uint32))
         self._nkeys += keys.size
 
-    def candidate_ranks(self, key: int) -> np.ndarray:
+    def _candidate_ranks(self, key: int) -> np.ndarray:
         return self._table.candidate_values(int(key)).astype(np.int64)
 
-    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+    def _candidate_counts(self, keys: np.ndarray) -> np.ndarray:
         return self._table.candidate_counts(keys)
+
+    def record_structure_metrics(self) -> None:
+        super().record_structure_metrics()
+        labels = dict(backend=self.backend, **self._labels)
+        st = self._table.stats
+        self.metrics.gauge("aux.cuckoo.kicks", **labels).set(self._table.total_kicks)
+        self.metrics.gauge("aux.cuckoo.chain_growths", **labels).set(st.ntables - 1)
+        self.metrics.gauge("aux.cuckoo.utilization", **labels).set(st.utilization)
 
     def to_bytes(self) -> bytes:
         parts: list[bytes] = []
@@ -325,8 +387,17 @@ class CuckooAuxTable(AuxTable):
 class QuotientAuxTable(AuxTable):
     """Quotient-filter aux table probed per rank (related work, §VI)."""
 
-    def __init__(self, nparts: int, capacity_hint: int, rbits: int | None = None, seed: int = 0):
-        super().__init__(nparts)
+    backend = "quotient"
+
+    def __init__(
+        self,
+        nparts: int,
+        capacity_hint: int,
+        rbits: int | None = None,
+        seed: int = 0,
+        **obs_kwargs,
+    ):
+        super().__init__(nparts, **obs_kwargs)
         if capacity_hint <= 0:
             raise ValueError("capacity_hint must be positive")
         qbits = max(4, math.ceil(math.log2(capacity_hint / 0.75)))
@@ -340,7 +411,7 @@ class QuotientAuxTable(AuxTable):
             self._filter.add(int(d))
         self._nkeys += keys.size
 
-    def candidate_ranks(self, key: int) -> np.ndarray:
+    def _candidate_ranks(self, key: int) -> np.ndarray:
         ranks = np.arange(self.nparts, dtype=np.uint64)
         digests = hash_pair(np.full(self.nparts, key, dtype=np.uint64), ranks)
         hits = self._filter.contains_many(digests)
@@ -371,8 +442,10 @@ class XorAuxTable(AuxTable):
     probes every candidate rank.
     """
 
-    def __init__(self, nparts: int, fp_bits: int = 8, seed: int = 0):
-        super().__init__(nparts)
+    backend = "xor"
+
+    def __init__(self, nparts: int, fp_bits: int = 8, seed: int = 0, **obs_kwargs):
+        super().__init__(nparts, **obs_kwargs)
         self.fp_bits = fp_bits
         self.seed = seed
         self._pending: list[np.ndarray] = []
@@ -394,7 +467,7 @@ class XorAuxTable(AuxTable):
             self._filter = XorFilter(digests, fp_bits=self.fp_bits, seed=self.seed)
             self._pending.clear()
 
-    def candidate_ranks(self, key: int) -> np.ndarray:
+    def _candidate_ranks(self, key: int) -> np.ndarray:
         self.finalize()
         ranks = np.arange(self.nparts, dtype=np.uint64)
         digests = hash_pair(np.full(self.nparts, key, dtype=np.uint64), ranks)
@@ -411,17 +484,24 @@ class XorAuxTable(AuxTable):
 
 
 def make_aux_table(
-    backend: str, nparts: int, capacity_hint: int | None = None, seed: int = 0, **kwargs
+    backend: str,
+    nparts: int,
+    capacity_hint: int | None = None,
+    seed: int = 0,
+    metrics: MetricsRegistry | None = None,
+    metric_labels: dict | None = None,
+    **kwargs,
 ) -> AuxTable:
     """Factory: exact | bloom | cuckoo | quotient | xor."""
+    obs_kwargs = dict(metrics=metrics, metric_labels=metric_labels)
     if backend == "exact":
-        return ExactAuxTable(nparts)
+        return ExactAuxTable(nparts, **obs_kwargs)
     if backend == "bloom":
-        return BloomAuxTable(nparts, capacity_hint or 1024, seed=seed, **kwargs)
+        return BloomAuxTable(nparts, capacity_hint or 1024, seed=seed, **obs_kwargs, **kwargs)
     if backend == "cuckoo":
-        return CuckooAuxTable(nparts, capacity_hint, seed=seed, **kwargs)
+        return CuckooAuxTable(nparts, capacity_hint, seed=seed, **obs_kwargs, **kwargs)
     if backend == "quotient":
-        return QuotientAuxTable(nparts, capacity_hint or 1024, seed=seed, **kwargs)
+        return QuotientAuxTable(nparts, capacity_hint or 1024, seed=seed, **obs_kwargs, **kwargs)
     if backend == "xor":
-        return XorAuxTable(nparts, seed=seed, **kwargs)
+        return XorAuxTable(nparts, seed=seed, **obs_kwargs, **kwargs)
     raise ValueError(f"unknown aux-table backend {backend!r}")

@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import MetricsRegistry, active
 from ..storage.blockio import StorageDevice
 from ..storage.log import DataPointer, ValueLog
 from ..storage.memtable import MemTable, RunWriter, flatten_runs
@@ -69,6 +70,7 @@ class WriterState:
         epoch: int = 0,
         block_size: int = 1 << 20,
         spill_budget_bytes: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.rank = rank
         self.fmt = fmt
@@ -81,6 +83,16 @@ class WriterState:
         self._buffers: dict[int, bytearray] = {}
         self._buffer_counts: dict[int, int] = {}
         self.records_written = 0
+        self.metrics = active(metrics)
+        self._m_records = self.metrics.counter(
+            "pipeline.records_encoded", format=fmt.name, rank=rank
+        )
+        self._m_wire_bytes = self.metrics.counter(
+            "pipeline.wire_bytes", format=fmt.name, rank=rank
+        )
+        self._m_batches = self.metrics.counter(
+            "pipeline.batches_shipped", format=fmt.name, rank=rank
+        )
         self._vlog: ValueLog | None = None
         self._main: SSTableWriter | None = None
         self._memtable: MemTable | None = None
@@ -96,7 +108,9 @@ class WriterState:
                 # (§V-A): bound memory with a memtable that spills sorted
                 # runs, merged into the final table at epoch end.
                 self._memtable = MemTable(spill_budget_bytes)
-                self._runs = RunWriter(device, f"runs.{epoch:03d}.{rank:06d}")
+                self._runs = RunWriter(
+                    device, f"runs.{epoch:03d}.{rank:06d}", metrics=self.metrics
+                )
 
     # -- producing --------------------------------------------------------
 
@@ -125,6 +139,7 @@ class WriterState:
             payload = self._encode(batch, idx, offsets)
             self._append_to_buffer(dest, payload, idx.size)
         self.records_written += len(batch)
+        self._m_records.inc(len(batch))
 
     def _encode(self, batch: KVBatch, idx: np.ndarray, offsets: np.ndarray | None) -> bytes:
         keys_le = batch.keys[idx].astype("<u8")
@@ -154,6 +169,8 @@ class WriterState:
 
     def _ship(self, dest: int, payload: bytes, nrecords: int) -> None:
         if nrecords:
+            self._m_wire_bytes.inc(len(payload))
+            self._m_batches.inc()
             self.send(Envelope(self.rank, dest, payload, nrecords))
 
     def flush(self) -> None:
@@ -197,6 +214,7 @@ class ReceiverState:
         block_size: int = 1 << 20,
         capacity_hint: int | None = None,
         aux_seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.rank = rank
         self.nranks = nranks
@@ -205,6 +223,13 @@ class ReceiverState:
         self.value_bytes = value_bytes
         self.epoch = epoch
         self.records_received = 0
+        self.metrics = active(metrics)
+        self._m_records = self.metrics.counter(
+            "pipeline.records_decoded", format=fmt.name, rank=rank
+        )
+        self._m_batches = self.metrics.counter(
+            "pipeline.batches_received", format=fmt.name, rank=rank
+        )
         self.aux: AuxTable | None = None
         self._table: SSTableWriter | None = None
         if fmt.name in ("base", "dataptr"):
@@ -217,6 +242,8 @@ class ReceiverState:
                 nparts=nranks,
                 capacity_hint=capacity_hint,
                 seed=aux_seed + rank,
+                metrics=self.metrics,
+                metric_labels={"rank": str(rank)},
             )
 
     def deliver(self, env: Envelope) -> None:
@@ -241,11 +268,14 @@ class ReceiverState:
             keys = raw.reshape(env.nrecords, KEY_BYTES).copy().view("<u8").ravel()
             self.aux.insert_many(keys.astype(np.uint64), env.src)
         self.records_received += env.nrecords
+        self._m_records.inc(env.nrecords)
+        self._m_batches.inc()
 
     def finish(self) -> TableStats | None:
         """Persist the partition's table (or aux blob) to storage."""
         if self._table is not None:
             return self._table.finish()
+        self.aux.record_structure_metrics()
         blob = self.aux.to_bytes()
         self.device.open(aux_table_name(self.epoch, self.rank), create=True).append(blob)
         return None

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import MetricsRegistry, active
 from ..storage.blockio import StorageDevice
 from ..storage.log import DataPointer, ValueLog
 from ..storage.sstable import FOOTER_BYTES, SSTableReader
@@ -63,6 +64,7 @@ class QueryEngine:
         aux_tables: list[AuxTable | None] | None = None,
         epoch: int = 0,
         parallel_probe: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         self.device = device
         self.fmt = fmt
@@ -71,6 +73,13 @@ class QueryEngine:
         self.aux_tables = aux_tables or [None] * nranks
         self.epoch = epoch
         self.parallel_probe = parallel_probe
+        self.metrics = active(metrics)
+        fmtl = {"format": fmt.name}
+        self._m_queries = self.metrics.counter("reader.queries", **fmtl)
+        self._m_hits = self.metrics.counter("reader.hits", **fmtl)
+        self._m_partitions = self.metrics.counter("reader.partitions_probed", **fmtl)
+        self._m_candidates = self.metrics.counter("reader.candidates", **fmtl)
+        self._m_amp = self.metrics.histogram("reader.read_amplification", **fmtl)
 
     # -- helpers -----------------------------------------------------------
 
@@ -105,10 +114,29 @@ class QueryEngine:
     def get(self, key: int) -> tuple[bytes | None, QueryStats]:
         """Point lookup; returns (value-or-None, cost accounting)."""
         if self.fmt.name == "base":
-            return self._get_base(key)
-        if self.fmt.name == "dataptr":
-            return self._get_dataptr(key)
-        return self._get_filterkv(key)
+            value, stats = self._get_base(key)
+        elif self.fmt.name == "dataptr":
+            value, stats = self._get_dataptr(key)
+        else:
+            value, stats = self._get_filterkv(key)
+        self._observe(stats)
+        return value, stats
+
+    def _observe(self, stats: QueryStats) -> None:
+        """Mirror one query's cost accounting into the registry."""
+        self._m_queries.inc()
+        if stats.found:
+            self._m_hits.inc()
+        self._m_partitions.inc(stats.partitions_searched)
+        self._m_amp.observe(stats.partitions_searched)
+        for cat, n in stats.breakdown_reads.items():
+            self.metrics.counter(
+                "reader.storage_reads", format=self.fmt.name, category=cat
+            ).inc(n)
+        for cat, nbytes in stats.breakdown_bytes.items():
+            self.metrics.counter(
+                "reader.bytes_read", format=self.fmt.name, category=cat
+            ).inc(nbytes)
 
     def _get_base(self, key: int) -> tuple[bytes | None, QueryStats]:
         stats = QueryStats()
@@ -148,6 +176,7 @@ class QueryEngine:
         with self._charged(stats, "aux"):
             aux_file.read(0, aux_file.size)
         candidates = aux.candidate_ranks(key)
+        self._m_candidates.inc(len(candidates))
         if self.parallel_probe:
             return self._probe_parallel(key, candidates, stats)
         value = None
@@ -220,7 +249,9 @@ class CachedQueryEngine(QueryEngine):
                 aux_file.read(0, aux_file.size)
             self._aux_read.add(owner)
         value = None
-        for rank in aux.candidate_ranks(key):
+        candidates = aux.candidate_ranks(key)
+        self._m_candidates.inc(len(candidates))
+        for rank in candidates:
             stats.partitions_searched += 1
             reader = self._open_table(int(rank), stats)
             with self._charged(stats, "data"):

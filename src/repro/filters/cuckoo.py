@@ -59,6 +59,8 @@ class CuckooStats:
     nslots: int
     ntables: int
     size_bytes: int
+    kicks: int = 0
+    failed_inserts: int = 0
 
     @property
     def utilization(self) -> float:
@@ -120,6 +122,8 @@ class PartialKeyCuckooTable:
         self._vals = np.zeros((self.nbuckets, self.slots_per_bucket), dtype=np.uint32)
         self._occ = np.zeros(self.nbuckets, dtype=np.int64)
         self._nkeys = 0
+        self.kicks = 0  # entries displaced by successful eviction walks
+        self.failed_inserts = 0  # walks that burned max_kicks and gave up
         self._rng = np.random.default_rng(seed ^ 0xC0C0)
         # Alternate-bucket displacement per fingerprint value, precomputed so
         # the eviction walk runs on plain Python ints (fingerprints are only
@@ -202,7 +206,9 @@ class PartialKeyCuckooTable:
                     self._fps[wb, ws] = wfp
                     self._vals[wb, ws] = wval
                 self._place(bucket, cur_fp, cur_val)
+                self.kicks += len(writes)
                 return
+        self.failed_inserts += 1
         raise CuckooTableFull(
             f"no eviction path within {self.max_kicks} kicks "
             f"(load {self._nkeys}/{self.capacity_slots})"
@@ -486,12 +492,18 @@ class ChainedCuckooTable:
         return sum(len(t) for t in self.tables)
 
     @property
+    def total_kicks(self) -> int:
+        return sum(t.kicks for t in self.tables)
+
+    @property
     def stats(self) -> CuckooStats:
         return CuckooStats(
             nkeys=len(self),
             nslots=sum(t.capacity_slots for t in self.tables),
             ntables=len(self.tables),
             size_bytes=sum(t.size_bytes for t in self.tables),
+            kicks=self.total_kicks,
+            failed_inserts=sum(t.failed_inserts for t in self.tables),
         )
 
     @property

@@ -5,12 +5,20 @@ DES experiment can report what the paper's §II instruments on hardware:
 how busy each core's progress path was, where time went, and a rendered
 timeline for small runs.  Used by the RPC microbenchmarks when digging
 into *why* a configuration is slow rather than just how slow it is.
+
+Tracing shares the telemetry layer's export path: give the tracer a
+`MetricsRegistry` and every span is mirrored into a
+``trace.span_seconds`` histogram (labeled by resource, span label, and
+outcome), so DES timelines land in the same JSON document as the
+pipeline/storage counters.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..obs import MetricsRegistry, active
 from .des import Simulator
 
 __all__ = ["Span", "Tracer"]
@@ -24,6 +32,7 @@ class Span:
     label: str
     start: float
     end: float
+    error: bool = False
 
     @property
     def duration(self) -> float:
@@ -36,26 +45,44 @@ class Tracer:
 
     sim: Simulator
     spans: list[Span] = field(default_factory=list)
+    metrics: MetricsRegistry | None = None
 
-    def record(self, resource: str, label: str, start: float, end: float | None = None) -> None:
+    def __post_init__(self):
+        self.metrics = active(self.metrics)
+
+    def record(
+        self,
+        resource: str,
+        label: str,
+        start: float,
+        end: float | None = None,
+        error: bool = False,
+    ) -> None:
         end = self.sim.now if end is None else end
         if end < start:
             raise ValueError(f"span ends before it starts: {start} > {end}")
-        self.spans.append(Span(resource, label, start, end))
+        self.spans.append(Span(resource, label, start, end, error=error))
+        self.metrics.histogram(
+            "trace.span_seconds",
+            resource=resource,
+            label=label,
+            outcome="error" if error else "ok",
+        ).observe(end - start)
 
+    @contextmanager
     def span(self, resource: str, label: str):
-        """Context manager: trace the enclosed simulated interval."""
-        tracer = self
+        """Context manager: trace the enclosed simulated interval.
 
-        class _Span:
-            def __enter__(inner):
-                inner.start = tracer.sim.now
-                return inner
-
-            def __exit__(inner, *exc):
-                tracer.record(resource, label, inner.start)
-
-        return _Span()
+        The interval is recorded even when the body raises — the span is
+        tagged ``error`` instead of being silently dropped.
+        """
+        start = self.sim.now
+        try:
+            yield
+        except BaseException:
+            self.record(resource, label, start, error=True)
+            raise
+        self.record(resource, label, start)
 
     # -- analysis -----------------------------------------------------------
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 
+from ..obs import MetricsRegistry, active
+
 __all__ = ["DeviceProfile", "IOCounters", "StorageDevice", "StorageFile"]
 
 
@@ -82,9 +84,19 @@ class StorageDevice:
     counters.
     """
 
-    def __init__(self, profile: DeviceProfile | None = None):
+    def __init__(
+        self,
+        profile: DeviceProfile | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.profile = profile or DeviceProfile()
         self.counters = IOCounters()
+        self.metrics = active(metrics)
+        dev = self.profile.name
+        self._m_reads = self.metrics.counter("storage.reads", device=dev)
+        self._m_writes = self.metrics.counter("storage.writes", device=dev)
+        self._m_bytes_read = self.metrics.counter("storage.bytes_read", device=dev)
+        self._m_bytes_written = self.metrics.counter("storage.bytes_written", device=dev)
         self._files: dict[str, io.BytesIO] = {}
 
     def open(self, name: str, create: bool = False) -> "StorageFile":
@@ -115,6 +127,8 @@ class StorageDevice:
         self.counters.reads += 1
         self.counters.bytes_read += len(data)
         self.counters.read_time += self.profile.read_time(len(data))
+        self._m_reads.inc()
+        self._m_bytes_read.inc(len(data))
         return data
 
     def _append(self, name: str, data: bytes) -> int:
@@ -125,6 +139,8 @@ class StorageDevice:
         self.counters.writes += 1
         self.counters.bytes_written += len(data)
         self.counters.write_time += self.profile.write_time(len(data))
+        self._m_writes.inc()
+        self._m_bytes_written.inc(len(data))
         return offset
 
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import get_default_registry
+
 __all__ = ["compress", "decompress", "compression_ratio", "SnappyError"]
 
 _WINDOW = 1 << 16  # compress in 64 KiB windows, like reference snappy
@@ -131,6 +133,11 @@ def compress(data: bytes) -> bytes:
         _compress_window(view, base, min(len(view), base + _WINDOW), out)
     if not data:
         pass  # preamble alone encodes the empty stream
+    # Pure function, so telemetry goes to the process-wide registry (null
+    # unless a run installed one).
+    m = get_default_registry()
+    m.counter("storage.compress_in_bytes").inc(len(data))
+    m.counter("storage.compress_out_bytes").inc(len(out))
     return bytes(out)
 
 
@@ -229,6 +236,9 @@ def decompress(data: bytes) -> bytes:
             out.append(out[start + k])
     if len(out) != expected:
         raise SnappyError(f"length mismatch: preamble {expected}, decoded {len(out)}")
+    m = get_default_registry()
+    m.counter("storage.decompress_in_bytes").inc(n)
+    m.counter("storage.decompress_out_bytes").inc(len(out))
     return bytes(out)
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import MetricsRegistry, active
 from .blockio import StorageDevice
 from .sstable import SSTableWriter, TableStats
 
@@ -83,9 +84,14 @@ class _Run:
 class RunWriter:
     """Spills memtables as sorted runs into one log extent."""
 
-    def __init__(self, device: StorageDevice, name: str):
+    def __init__(
+        self, device: StorageDevice, name: str, metrics: MetricsRegistry | None = None
+    ):
         self._file = device.open(name, create=True)
         self.runs: list[_Run] = []
+        m = active(metrics)
+        self._m_flushes = m.counter("storage.memtable_flushes")
+        self._m_spill_bytes = m.counter("storage.memtable_spill_bytes")
 
     def spill(self, memtable: MemTable) -> None:
         """Write the memtable's sorted contents as one run and reset it."""
@@ -98,6 +104,8 @@ class RunWriter:
             n += 1
         offset = self._file.append(bytes(blob))
         self.runs.append(_Run(offset, len(blob), n))
+        self._m_flushes.inc()
+        self._m_spill_bytes.inc(len(blob))
         memtable.reset()
 
     def read_run(self, i: int) -> list[tuple[int, bytes]]:

@@ -44,3 +44,60 @@ def test_advise_unknown_machine():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_compare_metrics_out(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "m.json"
+    main(
+        [
+            "compare", "--ranks", "4", "--records", "400",
+            "--queries", "32", "--metrics-out", str(out),
+        ]
+    )
+    stdout = capsys.readouterr().out
+    assert "filterkv" in stdout  # the human table is unchanged
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.metrics/v1"
+    names = {m["name"] for m in doc["metrics"]}
+    # one JSON document spans every instrumented layer
+    assert {
+        "pipeline.wire_bytes",
+        "aux.probes",
+        "aux.false_candidates",
+        "storage.bytes_written",
+        "reader.read_amplification",
+    } <= names
+    wire = {
+        m["labels"]["format"]: 0.0 for m in doc["metrics"] if m["name"] == "pipeline.wire_bytes"
+    }
+    for m in doc["metrics"]:
+        if m["name"] == "pipeline.wire_bytes":
+            wire[m["labels"]["format"]] += m["value"]
+    assert wire["filterkv"] == 8 * 4 * 400
+    assert wire["dataptr"] == 16 * 4 * 400
+
+
+def test_metrics_command_stdout(capsys):
+    import json
+
+    main(["metrics", "--format", "filterkv", "--ranks", "4", "--records", "300", "--queries", "16"])
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.metrics/v1"
+    assert all(m["labels"]["format"] == "filterkv" for m in doc["metrics"])
+
+
+def test_metrics_command_jsonl_file(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "m.jsonl"
+    main(
+        [
+            "metrics", "--format", "base", "--ranks", "4", "--records", "200",
+            "--queries", "0", "--jsonl", "--out", str(out),
+        ]
+    )
+    assert str(out) in capsys.readouterr().out
+    lines = out.read_text().splitlines()
+    assert lines and all(json.loads(ln)["labels"]["format"] == "base" for ln in lines)

@@ -79,3 +79,49 @@ def test_invalid_span_rejected():
 def test_span_dataclass():
     s = Span("r", "l", 1.0, 3.5)
     assert s.duration == 2.5
+
+
+def test_span_recorded_on_error():
+    """A raising body still records its interval, tagged as an error."""
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def failing():
+        with tracer.span("core0", "work"):
+            yield sim.timeout(2.0)
+            raise RuntimeError("mid-span failure")
+
+    with pytest.raises(RuntimeError):
+        sim.run_all([failing()])
+    assert len(tracer.spans) == 1
+    span = tracer.spans[0]
+    assert span.error
+    assert span.duration == pytest.approx(2.0)
+    assert tracer.busy_time("core0") == pytest.approx(2.0)
+
+
+def test_spans_mirror_into_metrics_registry():
+    from repro.obs import MetricsRegistry
+
+    sim = Simulator()
+    reg = MetricsRegistry()
+    tracer = Tracer(sim, metrics=reg)
+
+    def ok_then_fail():
+        with tracer.span("nic", "tx"):
+            yield sim.timeout(1.5)
+        with tracer.span("nic", "tx"):
+            yield sim.timeout(0.5)
+            raise ValueError("drop")
+
+    with pytest.raises(ValueError):
+        sim.run_all([ok_then_fail()])
+    ok = reg.histogram("trace.span_seconds", resource="nic", label="tx", outcome="ok")
+    err = reg.histogram("trace.span_seconds", resource="nic", label="tx", outcome="error")
+    assert ok.count == 1 and ok.total == pytest.approx(1.5)
+    assert err.count == 1 and err.total == pytest.approx(0.5)
+
+
+def test_tracer_without_registry_stays_silent():
+    sim, tracer = _traced_workload()
+    assert len(tracer.metrics) == 0  # the shared null registry
