@@ -72,6 +72,9 @@ class SimCluster:
         seed: int = 0,
         routing: str = "direct",
         ppn: int = 1,
+        spill_budget_bytes: int | None = None,
+        bulk: bool = True,
+        defer_aux: bool = False,
         metrics: MetricsRegistry | None = None,
     ):
         if nranks < 2:
@@ -84,6 +87,8 @@ class SimCluster:
         self.batch_bytes = batch_bytes
         self.epoch = epoch
         self.seed = seed
+        self.bulk = bulk
+        self.defer_aux = defer_aux
         self.metrics = active(metrics)
         self.device = (
             device
@@ -109,6 +114,8 @@ class SimCluster:
                 block_size=block_size,
                 capacity_hint=self._hint_per_rank,
                 aux_seed=seed,
+                bulk=bulk,
+                defer_aux=defer_aux,
                 metrics=self.metrics,
             )
             for r in range(nranks)
@@ -124,6 +131,8 @@ class SimCluster:
                 batch_bytes=batch_bytes,
                 epoch=epoch,
                 block_size=block_size,
+                spill_budget_bytes=spill_budget_bytes,
+                bulk=bulk,
                 metrics=self.metrics,
             )
             for r in range(nranks)

@@ -40,7 +40,10 @@ class HashPartitioner:
         scatter plan.  Built with one sort rather than ``nparts`` scans.
         """
         dest = self.partition_of(keys)
-        order = np.argsort(dest, kind="stable")
+        # Stable argsort on a narrow integer dtype takes numpy's radix
+        # path — same order, several times faster than comparison sort.
+        narrow = dest.astype(np.uint16) if self.nparts <= 0xFFFF else dest
+        order = np.argsort(narrow, kind="stable")
         sorted_dest = dest[order]
         boundaries = np.searchsorted(sorted_dest, np.arange(self.nparts + 1))
         return [order[boundaries[p] : boundaries[p + 1]] for p in range(self.nparts)]

@@ -70,6 +70,7 @@ class WriterState:
         epoch: int = 0,
         block_size: int = 1 << 20,
         spill_budget_bytes: int | None = None,
+        bulk: bool = True,
         metrics: MetricsRegistry | None = None,
     ):
         self.rank = rank
@@ -80,6 +81,7 @@ class WriterState:
         self.send = send
         self.batch_bytes = batch_bytes
         self.epoch = epoch
+        self.bulk = bulk
         self._buffers: dict[int, bytearray] = {}
         self._buffer_counts: dict[int, int] = {}
         self.records_written = 0
@@ -101,7 +103,8 @@ class WriterState:
             self._vlog = ValueLog(device, rank)
         elif fmt.name == "filterkv":
             self._main = SSTableWriter(
-                device, main_table_name(epoch, rank), block_size=block_size
+                device, main_table_name(epoch, rank), block_size=block_size,
+                vectorized=bulk,
             )
             if spill_budget_bytes is not None:
                 # The paper's driver buffers at most 16 MB before writing
@@ -115,24 +118,23 @@ class WriterState:
     # -- producing --------------------------------------------------------
 
     def put_batch(self, batch: KVBatch) -> None:
-        """Process one batch of generated KV pairs."""
+        """Process one batch of generated KV pairs.
+
+        The default path is columnar: local writes (value log, main table,
+        memtable spills) and payload encoding all happen as array
+        operations with no per-record Python work.  ``bulk=False`` keeps
+        the scalar per-record loops (same bytes, used as the equivalence
+        reference and by variable-width callers).
+        """
         if batch.value_bytes != self.value_bytes:
             raise ValueError(
                 f"batch value width {batch.value_bytes} != pipeline width {self.value_bytes}"
             )
         offsets = None
         if self.fmt.name == "dataptr":
-            offsets = np.empty(len(batch), dtype=np.uint64)
-            for i in range(len(batch)):
-                offsets[i] = self._vlog.append(batch.value_of(i)).offset
+            offsets = self._write_vlog(batch)
         elif self.fmt.name == "filterkv":
-            if self._memtable is not None:
-                for i in range(len(batch)):
-                    if not self._memtable.add(int(batch.keys[i]), batch.value_of(i)):
-                        self._runs.spill(self._memtable)
-            else:
-                for i in range(len(batch)):
-                    self._main.add(int(batch.keys[i]), batch.value_of(i))
+            self._write_local(batch)
         for dest, idx in enumerate(self.partitioner.split(batch.keys)):
             if idx.size == 0:
                 continue
@@ -140,6 +142,39 @@ class WriterState:
             self._append_to_buffer(dest, payload, idx.size)
         self.records_written += len(batch)
         self._m_records.inc(len(batch))
+
+    def _write_vlog(self, batch: KVBatch) -> np.ndarray:
+        """Append every value to the local log; returns their offsets."""
+        if self.bulk:
+            return self._vlog.append_many(batch.values)
+        offsets = np.empty(len(batch), dtype=np.uint64)
+        for i in range(len(batch)):
+            offsets[i] = self._vlog.append(batch.value_of(i)).offset
+        return offsets
+
+    def _write_local(self, batch: KVBatch) -> None:
+        """FilterKV local KV write: main table, or bounded memtable."""
+        if self._memtable is None:
+            if self.bulk:
+                self._main.add_many(batch.keys, batch.values)
+            else:
+                for i in range(len(batch)):
+                    self._main.add(int(batch.keys[i]), batch.value_of(i))
+            return
+        if self.bulk:
+            taken = 0
+            n = len(batch)
+            while taken < n:
+                took = self._memtable.add_many(
+                    batch.keys[taken:], batch.values[taken:]
+                )
+                taken += took
+                if self._memtable.full or took == 0:
+                    self._runs.spill(self._memtable)
+        else:
+            for i in range(len(batch)):
+                if not self._memtable.add(int(batch.keys[i]), batch.value_of(i)):
+                    self._runs.spill(self._memtable, vectorized=False)
 
     def _encode(self, batch: KVBatch, idx: np.ndarray, offsets: np.ndarray | None) -> bytes:
         keys_le = batch.keys[idx].astype("<u8")
@@ -160,12 +195,15 @@ class WriterState:
         buf += payload
         self._buffer_counts[dest] = self._buffer_counts.get(dest, 0) + nrecords
         record_bytes = len(payload) // nrecords
-        while len(buf) >= self.batch_bytes:
-            # Ship whole records only: trim the cut to a record boundary.
-            cut = (self.batch_bytes // record_bytes) * record_bytes
-            self._ship(dest, bytes(buf[:cut]), cut // record_bytes)
-            del buf[:cut]
-            self._buffer_counts[dest] -= cut // record_bytes
+        # Ship whole records only: trim the cut to a record boundary.  A
+        # record wider than batch_bytes would trim to zero; such records
+        # ship as single-record envelopes instead of looping forever.
+        cut = max(record_bytes, (self.batch_bytes // record_bytes) * record_bytes)
+        while len(buf) >= self.batch_bytes and len(buf) >= record_bytes:
+            take = min(cut, (len(buf) // record_bytes) * record_bytes)
+            self._ship(dest, bytes(buf[:take]), take // record_bytes)
+            del buf[:take]
+            self._buffer_counts[dest] -= take // record_bytes
 
     def _ship(self, dest: int, payload: bytes, nrecords: int) -> None:
         if nrecords:
@@ -185,8 +223,8 @@ class WriterState:
         """Flush and finalize local structures; returns main-table stats."""
         self.flush()
         if self._memtable is not None:
-            self._runs.spill(self._memtable)
-            return flatten_runs(self._runs, self._main)
+            self._runs.spill(self._memtable, vectorized=self.bulk)
+            return flatten_runs(self._runs, self._main, bulk=self.bulk)
         if self._main is not None:
             return self._main.finish()
         return None
@@ -196,7 +234,13 @@ class WriterState:
         if self._vlog is not None:
             return self._vlog.size_bytes
         if self._main is not None:
-            return self.device.file_size(main_table_name(self.epoch, self.rank))
+            total = self.device.file_size(main_table_name(self.epoch, self.rank))
+            if self._runs is not None:
+                # During the burst the spilled data lives in the run extent,
+                # not the (unfinished) main table — and the runs stay on the
+                # device after the flatten, so they always count as local.
+                total += self._runs.size_bytes
+            return total
         return 0
 
 
@@ -214,6 +258,8 @@ class ReceiverState:
         block_size: int = 1 << 20,
         capacity_hint: int | None = None,
         aux_seed: int = 0,
+        bulk: bool = True,
+        defer_aux: bool = False,
         metrics: MetricsRegistry | None = None,
     ):
         self.rank = rank
@@ -222,6 +268,8 @@ class ReceiverState:
         self.device = device
         self.value_bytes = value_bytes
         self.epoch = epoch
+        self.bulk = bulk
+        self.defer_aux = defer_aux
         self.records_received = 0
         self.metrics = active(metrics)
         self._m_records = self.metrics.counter(
@@ -232,9 +280,20 @@ class ReceiverState:
         )
         self.aux: AuxTable | None = None
         self._table: SSTableWriter | None = None
+        # ``defer_aux`` buffers key→source-rank mappings during the burst
+        # and builds the aux table in one insert at finish.  The mappings
+        # are immutable once the epoch ends (static-filter regime), and the
+        # chained cuckoo sizes overflow tables from the pending batch, so
+        # one table-sized insert chains fewer, larger tables than streaming
+        # envelope-sized inserts — faster to build and to probe, but a
+        # different (equal-content) layout than the paper's online,
+        # arrival-order build.  Off by default: the streaming build is the
+        # faithful one, and it keeps bulk and scalar byte-identical.
+        self._aux_pending: list[tuple[np.ndarray, int]] = []
         if fmt.name in ("base", "dataptr"):
             self._table = SSTableWriter(
-                device, main_table_name(epoch, rank), block_size=block_size
+                device, main_table_name(epoch, rank), block_size=block_size,
+                vectorized=bulk,
             )
         else:
             self.aux = make_aux_table(
@@ -247,7 +306,12 @@ class ReceiverState:
             )
 
     def deliver(self, env: Envelope) -> None:
-        """Decode one batch into the partition's tables."""
+        """Decode one batch into the partition's tables.
+
+        Decoding is columnar: wire payloads reshape into record matrices
+        and land in the tables via ``add_many`` with no per-record Python
+        work (``bulk=False`` keeps the scalar reference loops).
+        """
         if env.dest != self.rank:
             raise ValueError(f"envelope for rank {env.dest} delivered to {self.rank}")
         raw = np.frombuffer(env.payload, dtype=np.uint8)
@@ -255,26 +319,56 @@ class ReceiverState:
             rec = KEY_BYTES + self.value_bytes
             rows = raw.reshape(env.nrecords, rec)
             keys = rows[:, :KEY_BYTES].copy().view("<u8").ravel()
-            for i in range(env.nrecords):
-                self._table.add(int(keys[i]), rows[i, KEY_BYTES:].tobytes())
+            if self.bulk:
+                self._table.add_many(keys, rows[:, KEY_BYTES:])
+            else:
+                for i in range(env.nrecords):
+                    self._table.add(int(keys[i]), rows[i, KEY_BYTES:].tobytes())
         elif self.fmt.name == "dataptr":
             rows = raw.reshape(env.nrecords, KEY_BYTES + 8)
             keys = rows[:, :KEY_BYTES].copy().view("<u8").ravel()
-            offsets = rows[:, KEY_BYTES:].copy().view("<u8").ravel()
-            for i in range(env.nrecords):
-                ptr = DataPointer(env.src, int(offsets[i]))
-                self._table.add(int(keys[i]), ptr.pack())
+            if self.bulk:
+                # Stored value is the packed 12-byte DataPointer: the
+                # sender's rank (u32, from the envelope) + wire offset.
+                ptrs = np.empty((env.nrecords, 12), dtype=np.uint8)
+                ptrs[:, :4] = np.frombuffer(
+                    np.uint32(env.src).astype("<u4").tobytes(), dtype=np.uint8
+                )
+                ptrs[:, 4:] = rows[:, KEY_BYTES:]
+                self._table.add_many(keys, ptrs)
+            else:
+                offsets = rows[:, KEY_BYTES:].copy().view("<u8").ravel()
+                for i in range(env.nrecords):
+                    ptr = DataPointer(env.src, int(offsets[i]))
+                    self._table.add(int(keys[i]), ptr.pack())
         else:
             keys = raw.reshape(env.nrecords, KEY_BYTES).copy().view("<u8").ravel()
-            self.aux.insert_many(keys.astype(np.uint64), env.src)
+            if self.defer_aux:
+                self._aux_pending.append((keys.astype(np.uint64), env.src))
+            else:
+                # Per-envelope streaming insert — identical in bulk and
+                # scalar modes, matching the paper's online filter build.
+                self.aux.insert_many(keys.astype(np.uint64), env.src)
         self.records_received += env.nrecords
         self._m_records.inc(env.nrecords)
         self._m_batches.inc()
+
+    def _build_aux(self) -> None:
+        """One-shot insert of every buffered key→rank mapping (arrival order)."""
+        if not self._aux_pending:
+            return
+        keys = np.concatenate([k for k, _ in self._aux_pending])
+        srcs = np.concatenate(
+            [np.full(k.size, s, dtype=np.uint64) for k, s in self._aux_pending]
+        )
+        self._aux_pending.clear()
+        self.aux.insert_many(keys, srcs)
 
     def finish(self) -> TableStats | None:
         """Persist the partition's table (or aux blob) to storage."""
         if self._table is not None:
             return self._table.finish()
+        self._build_aux()
         self.aux.record_structure_metrics()
         blob = self.aux.to_bytes()
         self.device.open(aux_table_name(self.epoch, self.rank), create=True).append(blob)

@@ -248,9 +248,13 @@ class CachedQueryEngine(QueryEngine):
             with self._charged(stats, "aux"):
                 aux_file.read(0, aux_file.size)
             self._aux_read.add(owner)
-        value = None
         candidates = aux.candidate_ranks(key)
         self._m_candidates.inc(len(candidates))
+        if self.parallel_probe:
+            # Same concurrent-probe flow as the base engine (cached tables
+            # just make each probe's open cost zero after the first query).
+            return self._probe_parallel(key, candidates, stats)
+        value = None
         for rank in candidates:
             stats.partitions_searched += 1
             reader = self._open_table(int(rank), stats)

@@ -84,8 +84,17 @@ class BloomFilter:
         if digests.size == 0:
             return
         pos = double_hash_probes(digests.ravel(), self.nhashes, self.nbits, self.seed)
-        words, offsets = np.divmod(pos.ravel(), 64)
-        np.bitwise_or.at(self._words, words, np.uint64(1) << offsets.astype(np.uint64))
+        if self.nbits <= 1 << 25:
+            # Scatter through a transient bit-per-bool array and repack:
+            # an order-independent OR, so the words come out identical to
+            # any scatter method, at a fraction of `bitwise_or.at`'s cost.
+            bits = np.zeros(self.nbits, dtype=bool)
+            bits[pos.ravel()] = True
+            self._words |= np.packbits(bits, bitorder="little").view("<u8")
+        else:
+            # Huge filters: skip the nbits-byte transient allocation.
+            words, offsets = np.divmod(pos.ravel(), 64)
+            np.bitwise_or.at(self._words, words, np.uint64(1) << offsets.astype(np.uint64))
         self._count += digests.size
 
     def contains_many(self, digests: np.ndarray) -> np.ndarray:

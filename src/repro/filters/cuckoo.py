@@ -131,8 +131,10 @@ class PartialKeyCuckooTable:
         if self.fp_bits <= 20:
             fp_values = np.arange(1 << self.fp_bits, dtype=np.uint64)
             self._alt_lut = (hash64(fp_values, self.seed + 0xA17) & self._mask).astype(np.int64)
+            self._alt_lut_list = self._alt_lut.tolist()
         else:
             self._alt_lut = None
+            self._alt_lut_list = None
 
     # -- addressing -------------------------------------------------------
 
@@ -188,20 +190,35 @@ class PartialKeyCuckooTable:
         slot during the walk observe the simulated — i.e. eventual — contents
         rather than stale ones.
         """
+        # Tight scalar loop: everything is a Python int — table cells are
+        # read with ndarray.item (no 0-d array round trip) and the alternate
+        # bucket comes from a list LUT — this walk is the only per-record
+        # work left at high load.  The RNG is consumed exactly as one coin
+        # draw plus one max_kicks-wide slot draw per walk, so walk outcomes
+        # (and hence table layout) are a pure function of the seed and
+        # insert order, stable across revisions.
+        slots_per_bucket = self.slots_per_bucket
+        fps_item = self._fps.item
+        vals_item = self._vals.item
+        occ_item = self._occ.item
+        lut = self._alt_lut_list
         start = b1 if self._rng.integers(2) == 0 else b2
+        choices = self._rng.integers(slots_per_bucket, size=self.max_kicks).tolist()
         writes: dict[tuple[int, int], tuple[int, int]] = {}
         cur_fp, cur_val = int(fp), int(value)
         bucket = start
-        slot_choices = self._rng.integers(self.slots_per_bucket, size=self.max_kicks)
-        for slot in slot_choices:
-            slot = int(slot)
-            victim = writes.get(
-                (bucket, slot), (int(self._fps[bucket, slot]), int(self._vals[bucket, slot]))
-            )
-            writes[(bucket, slot)] = (cur_fp, cur_val)
+        for slot in choices:
+            key = (bucket, slot)
+            victim = writes.get(key)
+            if victim is None:
+                victim = (fps_item(bucket, slot), vals_item(bucket, slot))
+            writes[key] = (cur_fp, cur_val)
             cur_fp, cur_val = victim
-            bucket = self._alt_bucket_scalar(bucket, cur_fp)
-            if self._occ[bucket] < self.slots_per_bucket:
+            if lut is not None:
+                bucket ^= lut[cur_fp]
+            else:
+                bucket = self._alt_bucket_scalar(bucket, cur_fp)
+            if occ_item(bucket) < slots_per_bucket:
                 for (wb, ws), (wfp, wval) in writes.items():
                     self._fps[wb, ws] = wfp
                     self._vals[wb, ws] = wval
@@ -255,7 +272,10 @@ class PartialKeyCuckooTable:
     def _bulk_place(self, buckets: np.ndarray, fps: np.ndarray, vals: np.ndarray) -> np.ndarray:
         """Vectorized placement into ``buckets`` where free slots exist."""
         n = buckets.size
-        order = np.argsort(buckets, kind="stable")
+        # Stable argsort on a narrow dtype takes numpy's radix path — same
+        # order (bucket ids are < nbuckets), several times faster.
+        narrow = buckets.astype(np.uint16) if self.nbuckets <= 0x10000 else buckets
+        order = np.argsort(narrow, kind="stable")
         bs = buckets[order]
         idx = np.arange(n)
         new_group = np.empty(n, dtype=bool)

@@ -21,6 +21,20 @@ __all__ = ["fastsum64", "CHECKSUM_BYTES"]
 CHECKSUM_BYTES = 8
 _LEN_SALT = np.uint64(0x1DA177E4C3F41524)
 
+# The position-mix series depends only on (word index, seed); blocks in one
+# table share a size, so memoizing it removes half the per-block hash work.
+_POS_CACHE: dict[int, np.ndarray] = {}
+
+
+def _positions(n: int, seed: int) -> np.ndarray:
+    cached = _POS_CACHE.get(seed)
+    if cached is None or cached.size < n:
+        size = max(n, 1024, 2 * cached.size if cached is not None else 0)
+        with np.errstate(over="ignore"):
+            cached = splitmix64(np.arange(size, dtype=np.uint64) ^ np.uint64(seed))
+        _POS_CACHE[seed] = cached
+    return cached[:n]
+
 
 def fastsum64(data: bytes, seed: int = 0) -> int:
     """64-bit checksum of ``data`` (vectorized; ~GB/s on NumPy).
@@ -33,9 +47,9 @@ def fastsum64(data: bytes, seed: int = 0) -> int:
     pad = (-raw.size) % 8
     if pad:
         raw = np.concatenate([raw, np.zeros(pad, dtype=np.uint8)])
-    words = raw.view("<u8").astype(np.uint64)
+    words = raw.view("<u8")
     with np.errstate(over="ignore"):
-        positions = splitmix64(np.arange(words.size, dtype=np.uint64) ^ np.uint64(seed))
+        positions = _positions(words.size, seed)
         mixed = splitmix64(words ^ positions)
         folded = np.bitwise_xor.reduce(mixed) if mixed.size else np.uint64(0)
         out = splitmix64(folded ^ (np.uint64(len(data)) * _LEN_SALT))

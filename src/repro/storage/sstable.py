@@ -83,6 +83,11 @@ class SSTableWriter:
         4 MiB units, benchmarks use smaller blocks at reduced scale.
     bloom_bits_per_key:
         Per-table Bloom filter budget; 0 disables the filter block.
+    vectorized:
+        When True (default) fixed-width tables are sorted, blocked, and
+        serialized with array operations; False forces the per-record
+        reference path (same bytes — kept as the scalar-equivalence
+        baseline and exercised automatically for variable-width values).
     """
 
     def __init__(
@@ -91,70 +96,184 @@ class SSTableWriter:
         name: str,
         block_size: int = 4 << 20,
         bloom_bits_per_key: float = 10.0,
+        vectorized: bool = True,
     ):
         if block_size < 64:
             raise ValueError(f"block_size too small: {block_size}")
         self.block_size = block_size
         self.bloom_bits_per_key = bloom_bits_per_key
+        self.vectorized = vectorized
         self._file: StorageFile = device.open(name, create=True)
-        self._keys: list[int] = []
-        self._values: list[bytes] = []
+        # Entries are buffered as columnar chunks in arrival order: each
+        # chunk is (keys u64, values) where values is a 2-D uint8 matrix
+        # (fixed-width fast path) or a list[bytes] (variable-width).
+        # Scalar `add`s accumulate in a pending tail that is sealed into a
+        # chunk lazily, so interleaved add/add_many keeps insertion order.
+        self._chunks: list[tuple[np.ndarray, np.ndarray | list[bytes]]] = []
+        self._pending_keys: list[int] = []
+        self._pending_values: list[bytes] = []
+        self._nentries = 0
         self._finished = False
+
+    def __len__(self) -> int:
+        return self._nentries
 
     def add(self, key: int, value: bytes) -> None:
         """Buffer one entry (duplicate keys are kept; reader returns first)."""
         if self._finished:
             raise ValueError("writer already finished")
-        self._keys.append(int(key))
-        self._values.append(bytes(value))
+        self._pending_keys.append(int(key))
+        self._pending_values.append(bytes(value))
+        self._nentries += 1
 
-    def add_many(self, keys: np.ndarray, values: list[bytes]) -> None:
-        if len(keys) != len(values):
+    def add_many(self, keys: np.ndarray, values: np.ndarray | list[bytes]) -> None:
+        """Buffer a batch of entries without per-record Python work.
+
+        ``values`` is either a ``(len(keys), width)`` uint8 matrix — the
+        vectorized fixed-width path — or a list of bytes of any widths.
+        """
+        if self._finished:
+            raise ValueError("writer already finished")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64).ravel()
+        if isinstance(values, np.ndarray):
+            values = np.asarray(values, dtype=np.uint8)
+            if values.ndim != 2 or values.shape[0] != keys.size:
+                raise ValueError(
+                    f"values must be ({keys.size}, width); got {values.shape}"
+                )
+        elif len(values) != keys.size:
             raise ValueError("keys and values length mismatch")
-        for k, v in zip(keys, values):
-            self.add(int(k), v)
+        if keys.size == 0:
+            return
+        self._seal_pending()
+        self._chunks.append((keys, values))
+        self._nentries += keys.size
+
+    def _seal_pending(self) -> None:
+        if self._pending_keys:
+            self._chunks.append(
+                (
+                    np.asarray(self._pending_keys, dtype=np.uint64),
+                    self._pending_values,
+                )
+            )
+            self._pending_keys = []
+            self._pending_values = []
+
+    def _collect(self) -> tuple[np.ndarray, np.ndarray | list[bytes]]:
+        """All buffered entries in insertion order.
+
+        Returns ``(keys, values)`` with values as one 2-D uint8 matrix when
+        every entry has the same width, else as a flat list[bytes].
+        """
+        self._seal_pending()
+        if not self._chunks:
+            return np.zeros(0, dtype=np.uint64), np.zeros((0, 0), dtype=np.uint8)
+        keys = (
+            self._chunks[0][0]
+            if len(self._chunks) == 1
+            else np.concatenate([c[0] for c in self._chunks])
+        )
+        widths = set()
+        for _, vals in self._chunks:
+            if isinstance(vals, np.ndarray):
+                widths.add(vals.shape[1])
+            else:
+                widths.update(len(v) for v in vals)
+            if len(widths) > 1:
+                break
+        if len(widths) == 1:
+            w = widths.pop()
+            mats = [
+                vals
+                if isinstance(vals, np.ndarray)
+                else np.frombuffer(b"".join(vals), dtype=np.uint8).reshape(len(vals), w)
+                for _, vals in self._chunks
+            ]
+            values = mats[0] if len(mats) == 1 else np.concatenate(mats, axis=0)
+            return keys, values
+        flat: list[bytes] = []
+        for _, vals in self._chunks:
+            if isinstance(vals, np.ndarray):
+                flat.extend(vals.tobytes()[i : i + vals.shape[1]] for i in
+                            range(0, vals.size, vals.shape[1]))
+            else:
+                flat.extend(vals)
+        return keys, flat
 
     def finish(self) -> TableStats:
         """Sort, write blocks + filter + index + footer; returns sizes."""
         if self._finished:
             raise ValueError("writer already finished")
         self._finished = True
-        order = np.argsort(np.asarray(self._keys, dtype=np.uint64), kind="stable")
+        keys, values = self._collect()
+        order = np.argsort(keys, kind="stable")
         index_entries: list[tuple[int, int, int, int, int]] = []
-        block = bytearray()
-        block_keys: list[int] = []
-        nentries = 0
+        nentries = keys.size
         data_bytes = 0
 
-        def flush_block() -> None:
-            nonlocal block, block_keys, data_bytes
-            if not block_keys:
-                return
-            payload = _U32.pack(len(block_keys)) + bytes(block)
-            payload += fastsum64(payload).to_bytes(CHECKSUM_BYTES, "little")
-            off = self._file.append(payload)
-            index_entries.append(
-                (block_keys[0], block_keys[-1], off, len(payload), len(block_keys))
-            )
-            data_bytes += len(payload)
+        if self.vectorized and isinstance(values, np.ndarray) and nentries:
+            # Fixed-width fast path: every record is KEY+len+value bytes, so
+            # block boundaries fall at a uniform record count and the whole
+            # data section is built with array ops (byte-identical to the
+            # scalar path's incremental block building).
+            width = values.shape[1]
+            rec = _ENTRY_HDR.size + width
+            skeys = keys[order]
+            recs = np.empty((nentries, rec), dtype=np.uint8)
+            recs[:, :8] = skeys.astype("<u8").view(np.uint8).reshape(-1, 8)
+            recs[:, 8:12] = np.frombuffer(_U32.pack(width), dtype=np.uint8)
+            recs[:, 12:] = values[order]
+            per_block = max(1, -(-self.block_size // rec))  # ceil
+            for start in range(0, nentries, per_block):
+                rows = recs[start : start + per_block]
+                payload = _U32.pack(rows.shape[0]) + rows.tobytes()
+                payload += fastsum64(payload).to_bytes(CHECKSUM_BYTES, "little")
+                off = self._file.append(payload)
+                index_entries.append(
+                    (
+                        int(skeys[start]),
+                        int(skeys[min(start + per_block, nentries) - 1]),
+                        off,
+                        len(payload),
+                        rows.shape[0],
+                    )
+                )
+                data_bytes += len(payload)
+        elif nentries:
             block = bytearray()
-            block_keys = []
+            block_keys: list[int] = []
 
-        for i in order:
-            k, v = self._keys[i], self._values[i]
-            block += _ENTRY_HDR.pack(k, len(v)) + v
-            block_keys.append(k)
-            nentries += 1
-            if len(block) >= self.block_size:
-                flush_block()
-        flush_block()
+            def flush_block() -> None:
+                nonlocal block, block_keys, data_bytes
+                if not block_keys:
+                    return
+                payload = _U32.pack(len(block_keys)) + bytes(block)
+                payload += fastsum64(payload).to_bytes(CHECKSUM_BYTES, "little")
+                off = self._file.append(payload)
+                index_entries.append(
+                    (block_keys[0], block_keys[-1], off, len(payload), len(block_keys))
+                )
+                data_bytes += len(payload)
+                block = bytearray()
+                block_keys = []
+
+            arr = isinstance(values, np.ndarray)
+            for i in order:
+                k = int(keys[i])
+                v = values[i].tobytes() if arr else values[i]
+                block += _ENTRY_HDR.pack(k, len(v)) + v
+                block_keys.append(k)
+                if len(block) >= self.block_size:
+                    flush_block()
+            flush_block()
 
         # Filter block.
         filter_blob = b""
         bloom_nhashes = 0
         if self.bloom_bits_per_key > 0 and nentries > 0:
             bf = BloomFilter.from_bits_per_key(nentries, self.bloom_bits_per_key)
-            bf.add_many(np.asarray(self._keys, dtype=np.uint64))
+            bf.add_many(keys)
             filter_blob = bf.to_bytes()
             bloom_nhashes = bf.nhashes
         filter_off = self._file.append(filter_blob) if filter_blob else self._file.size
@@ -178,8 +297,7 @@ class SSTableWriter:
                 0,
             )
         )
-        self._keys.clear()
-        self._values.clear()
+        self._chunks.clear()
         return TableStats(
             nentries=nentries,
             data_bytes=data_bytes,

@@ -11,7 +11,7 @@ from repro.storage.blockio import StorageDevice
 from repro.storage.sstable import SSTableReader
 
 
-def _writer(device, spill=None, rank=0, nranks=2):
+def _writer(device, spill=None, rank=0, nranks=2, bulk=True, **kw):
     return WriterState(
         rank=rank,
         fmt=FMT_FILTERKV,
@@ -20,6 +20,8 @@ def _writer(device, spill=None, rank=0, nranks=2):
         value_bytes=16,
         send=lambda env: None,
         spill_budget_bytes=spill,
+        bulk=bulk,
+        **kw,
     )
 
 
@@ -56,14 +58,97 @@ def test_memtable_stays_bounded_during_burst():
     w.finish()
 
 
-def test_duplicate_keys_first_wins_through_spills():
+@pytest.mark.parametrize("bulk", [True, False])
+def test_duplicate_keys_first_wins_through_spills(bulk):
+    """First-write-wins must survive spilling and the flattening merge on
+    both the vectorized path and the scalar reference."""
     dev = StorageDevice()
-    w = _writer(dev, spill=256)
+    w = _writer(dev, spill=256, bulk=bulk)
     from repro.core.kv import KVBatch
 
     keys = np.full(100, 7, dtype=np.uint64)
     vals = np.arange(1600, dtype=np.uint8).reshape(100, 16)
     w.put_batch(KVBatch(keys, vals))
+    assert len(w._runs.runs) > 1  # the duplicates really crossed runs
     w.finish()
     r = SSTableReader(dev, main_table_name(0, 0))
     assert r.get(7) == vals[0].tobytes()
+
+
+@pytest.mark.parametrize("bulk", [True, False])
+def test_interleaved_duplicates_first_wins_across_runs(bulk):
+    """Duplicates interleaved with other keys, landing in different runs:
+    the earliest write must win after flatten, and every key must resolve."""
+    dev = StorageDevice()
+    w = _writer(dev, spill=512, bulk=bulk)
+    from repro.core.kv import KVBatch
+
+    rng = np.random.default_rng(17)
+    keys = rng.integers(0, 50, size=400).astype(np.uint64)  # heavy duplication
+    vals = rng.integers(0, 256, size=(400, 16)).astype(np.uint8)
+    w.put_batch(KVBatch(keys, vals))
+    w.finish()
+    r = SSTableReader(dev, main_table_name(0, 0))
+    first = {}
+    for k, v in zip(keys.tolist(), vals):
+        first.setdefault(k, v.tobytes())
+    for k, expect in first.items():
+        assert r.get(k) == expect
+
+
+def test_spill_at_exact_byte_budget():
+    """Records that land exactly on the budget boundary spill cleanly —
+    the crossing record is included (scalar `add` semantics), nothing is
+    dropped or double-counted."""
+    dev = StorageDevice()
+    # Record = 8 key + 16 value = 24 bytes; budget = 10 records exactly.
+    w = _writer(dev, spill=240)
+    batch = random_kv_batch(100, 16, rng=9)
+    w.put_batch(batch)
+    stats = w.finish()
+    assert stats.nentries == 100
+    assert all(run.nentries == 10 for run in w._runs.runs)
+    r = SSTableReader(dev, main_table_name(0, 0))
+    for i in range(100):
+        assert r.get(int(batch.keys[i])) == batch.value_of(i)
+
+
+@pytest.mark.parametrize("bulk", [True, False])
+def test_wire_roundtrip_odd_batch_sizes(bulk):
+    """Odd put sizes against a batch budget that is not a record multiple:
+    every record must arrive intact, whole-record framing preserved."""
+    from repro.core.kv import KVBatch
+    from repro.core.pipeline import ReceiverState
+
+    dev_w, dev_r = StorageDevice(), StorageDevice()
+    recv = ReceiverState(
+        rank=0, nranks=1, fmt=FMT_FILTERKV, device=dev_r, value_bytes=16, bulk=bulk
+    )
+    seen = []
+
+    def deliver(env):
+        assert len(env.payload) % 8 == 0 and env.nrecords == len(env.payload) // 8
+        seen.append(env.nrecords)
+        recv.deliver(env)
+
+    w = WriterState(
+        rank=0,
+        fmt=FMT_FILTERKV,
+        partitioner=HashPartitioner(1),
+        device=dev_w,
+        value_bytes=16,
+        send=deliver,
+        batch_bytes=100,  # not a multiple of the 8-byte wire record
+        bulk=bulk,
+    )
+    rng = np.random.default_rng(23)
+    total = 0
+    for n in (1, 3, 7, 13, 101, 2, 50):
+        keys = rng.integers(0, 1 << 60, size=n).astype(np.uint64)
+        vals = rng.integers(0, 256, size=(n, 16)).astype(np.uint8)
+        w.put_batch(KVBatch(keys, vals))
+        total += n
+    w.flush()
+    recv.finish()
+    assert sum(seen) == total
+    assert recv.records_received == total

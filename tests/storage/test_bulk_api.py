@@ -1,0 +1,170 @@
+"""Bulk (vectorized) storage APIs must match their scalar references byte
+for byte — `add_many` / `append_many` are speedups, not new semantics."""
+
+import numpy as np
+import pytest
+
+from repro.storage.blockio import StorageDevice
+from repro.storage.log import ValueLog
+from repro.storage.memtable import MemTable, RunWriter, flatten_runs
+from repro.storage.sstable import SSTableReader, SSTableWriter
+
+
+def _kv(n, width, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 62, size=n).astype(np.uint64)
+    values = rng.integers(0, 256, size=(n, width)).astype(np.uint8)
+    return keys, values
+
+
+def _extent(device, name):
+    f = device.open(name)
+    return f.read(0, f.size)
+
+
+def test_sstable_add_many_bytes_identical_to_scalar():
+    keys, values = _kv(5000, 24, seed=1)
+    order = np.argsort(keys, kind="stable")
+    keys, values = keys[order], values[order]
+    dev_v, dev_s = StorageDevice(), StorageDevice()
+    wv = SSTableWriter(dev_v, "t", block_size=4096, vectorized=True)
+    ws = SSTableWriter(dev_s, "t", block_size=4096, vectorized=False)
+    wv.add_many(keys, values)
+    for k, v in zip(keys.tolist(), values):
+        ws.add(k, v.tobytes())
+    sv, ss = wv.finish(), ws.finish()
+    assert sv == ss
+    assert _extent(dev_v, "t") == _extent(dev_s, "t")
+
+
+def test_sstable_add_many_list_values_matches_matrix():
+    keys, values = _kv(300, 16, seed=2)
+    order = np.argsort(keys, kind="stable")
+    keys, values = keys[order], values[order]
+    dev_a, dev_b = StorageDevice(), StorageDevice()
+    wa = SSTableWriter(dev_a, "t", block_size=2048)
+    wb = SSTableWriter(dev_b, "t", block_size=2048)
+    wa.add_many(keys, values)
+    wb.add_many(keys, [v.tobytes() for v in values])
+    wa.finish(), wb.finish()
+    assert _extent(dev_a, "t") == _extent(dev_b, "t")
+
+
+def test_vlog_append_many_offsets_match_scalar():
+    _, values = _kv(1000, 40, seed=3)
+    dev_v, dev_s = StorageDevice(), StorageDevice()
+    bulk_offsets = ValueLog(dev_v, rank=0).append_many(values)
+    log_s = ValueLog(dev_s, rank=0)
+    scalar_offsets = [log_s.append(v.tobytes()).offset for v in values]
+    assert bulk_offsets.tolist() == scalar_offsets
+    name = ValueLog.filename(0)
+    assert _extent(dev_v, name) == _extent(dev_s, name)
+
+
+def test_vlog_append_many_roundtrip_pointers():
+    _, values = _kv(64, 12, seed=4)
+    dev = StorageDevice()
+    log = ValueLog(dev, rank=3)
+    offsets = log.append_many(values)
+    from repro.storage.log import DataPointer
+
+    for off, v in zip(offsets.tolist(), values):
+        assert log.read(DataPointer(3, int(off))) == v.tobytes()
+
+
+def test_memtable_add_many_matches_scalar_budget_semantics():
+    keys, values = _kv(200, 16, seed=5)
+    # Scalar: add until False (the crossing record is kept).
+    scalar = MemTable(budget_bytes=1000)
+    taken_scalar = 0
+    for k, v in zip(keys.tolist(), values):
+        taken_scalar += 1
+        if not scalar.add(k, v.tobytes()):
+            break
+    bulk = MemTable(budget_bytes=1000)
+    taken_bulk = bulk.add_many(keys, values)
+    assert taken_bulk == taken_scalar
+    assert bulk.size_bytes == scalar.size_bytes
+    assert bulk.sorted_items() == scalar.sorted_items()
+    assert bulk.add_many(keys, values) == 0  # full: nothing more fits
+
+
+def test_memtable_mixed_scalar_and_bulk_keeps_insertion_order():
+    mt = MemTable(1 << 20)
+    mt.add(9, b"scalar-first----")
+    keys = np.asarray([9, 1], dtype=np.uint64)
+    vals = np.frombuffer(b"bulk-second-----bulk-key-one----", dtype=np.uint8).reshape(2, 16)
+    mt.add_many(keys, vals)
+    mt.add(1, b"scalar-last-----")
+    items = mt.sorted_items()
+    assert items[0] == (1, b"bulk-key-one----")  # first write of key 1
+    assert items[2] == (9, b"scalar-first----")  # first write of key 9
+
+
+@pytest.mark.parametrize("width", [16, 0])
+def test_spill_vectorized_and_scalar_bytes_identical(width):
+    keys, values = _kv(500, width, seed=6)
+    dev_v, dev_s = StorageDevice(), StorageDevice()
+    rw_v, rw_s = RunWriter(dev_v, "runs"), RunWriter(dev_s, "runs")
+    for rw, vectorized in ((rw_v, True), (rw_s, False)):
+        mt = MemTable(1 << 20)
+        mt.add_many(keys, values)
+        rw.spill(mt, vectorized=vectorized)
+    assert _extent(dev_v, "runs") == _extent(dev_s, "runs")
+    assert rw_v.read_run(0) == rw_s.read_run(0)
+
+
+def test_read_run_arrays_roundtrip():
+    keys, values = _kv(400, 16, seed=7)
+    dev = StorageDevice()
+    rw = RunWriter(dev, "runs")
+    mt = MemTable(1 << 20)
+    mt.add_many(keys, values)
+    rw.spill(mt)
+    got_keys, got_values = rw.read_run_arrays(0)
+    order = np.argsort(keys, kind="stable")
+    assert got_keys.tolist() == keys[order].tolist()
+    assert isinstance(got_values, np.ndarray)
+    assert got_values.tobytes() == values[order].tobytes()
+
+
+def test_read_run_arrays_variable_width():
+    dev = StorageDevice()
+    rw = RunWriter(dev, "runs")
+    mt = MemTable(1 << 20)
+    entries = [(5, b"short"), (2, b"a-much-longer-value"), (9, b"")]
+    for k, v in entries:
+        mt.add(k, v)
+    rw.spill(mt)
+    got_keys, got_values = rw.read_run_arrays(0)
+    assert got_keys.tolist() == [2, 5, 9]
+    assert got_values == [b"a-much-longer-value", b"short", b""]
+
+
+@pytest.mark.parametrize("dup_seed", [8, 9])
+def test_flatten_heap_and_bulk_bytes_identical(dup_seed):
+    """The array-based flatten must emit exactly the bytes of the reference
+    k-way heap merge — including first-write-wins order for duplicates."""
+    rng = np.random.default_rng(dup_seed)
+    devs = StorageDevice(), StorageDevice()
+    writers = []
+    for dev in devs:
+        rw = RunWriter(dev, "runs")
+        gen = np.random.default_rng(dup_seed)  # same spills on both devices
+        for _ in range(4):
+            keys = gen.integers(0, 200, size=150).astype(np.uint64)  # many dups
+            values = gen.integers(0, 256, size=(150, 16)).astype(np.uint8)
+            mt = MemTable(1 << 20)
+            mt.add_many(keys, values)
+            rw.spill(mt)
+        writers.append(rw)
+    tables = [
+        SSTableWriter(dev, "final", block_size=4096, vectorized=bulk)
+        for dev, bulk in zip(devs, (True, False))
+    ]
+    stats_bulk = flatten_runs(writers[0], tables[0], bulk=True)
+    stats_heap = flatten_runs(writers[1], tables[1], bulk=False)
+    assert stats_bulk == stats_heap
+    assert _extent(devs[0], "final") == _extent(devs[1], "final")
+    reader = SSTableReader(devs[0], "final")
+    assert len(reader.scan()) == stats_bulk.nentries
