@@ -26,8 +26,10 @@ from ..core.kv import KVBatch, random_kv_batch
 from ..core.partitioning import HashPartitioner
 from ..core.pipeline import Envelope, ReceiverState, WriterState
 from ..core.routing import DirectRouter, ThreeHopRouter
+from ..faults import FaultPlan, FaultyStorageDevice
 from ..obs import MetricsRegistry, active
 from ..storage.blockio import DeviceProfile, StorageDevice
+from ..storage.manifest import Manifest, RecoveryReport
 
 __all__ = ["SimCluster", "ClusterStats"]
 
@@ -75,12 +77,15 @@ class SimCluster:
         spill_budget_bytes: int | None = None,
         bulk: bool = True,
         defer_aux: bool = False,
+        faults: FaultPlan | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if nranks < 2:
             raise ValueError("need at least 2 ranks to partition data")
         if routing not in ("direct", "3hop"):
             raise ValueError(f"routing must be 'direct' or '3hop', got {routing!r}")
+        if faults is not None and device is not None:
+            raise ValueError("pass faults= or a prebuilt device=, not both")
         self.nranks = nranks
         self.fmt = fmt
         self.value_bytes = value_bytes
@@ -90,52 +95,68 @@ class SimCluster:
         self.bulk = bulk
         self.defer_aux = defer_aux
         self.metrics = active(metrics)
-        self.device = (
-            device
-            if device is not None
-            else StorageDevice(device_profile, metrics=self.metrics)
-        )
-        self.partitioner = HashPartitioner(nranks)
-        if routing == "3hop":
-            self.router = ThreeHopRouter(self._deliver, ppn=ppn, batch_bytes=batch_bytes)
+        if device is not None:
+            self.device = device
+        elif faults is not None:
+            self.device = FaultyStorageDevice(faults, device_profile, metrics=self.metrics)
         else:
-            self.router = DirectRouter(self._deliver, ppn=ppn)
+            self.device = StorageDevice(device_profile, metrics=self.metrics)
+        self.partitioner = HashPartitioner(nranks)
+        self._routing = routing
+        self._ppn = ppn
+        self._block_size = block_size
+        self._spill_budget_bytes = spill_budget_bytes
         self._hint_per_rank = (
             max(64, int(records_hint // nranks * 1.2)) if records_hint else None
         )
+        self._build_states()
+
+    def _build_states(self) -> None:
+        """(Re)create the transport and per-rank pipeline states.
+
+        Called at construction and by `recover` — after a crash the old
+        writer/receiver states hold half-built tables referencing extents
+        recovery may have swept, so the epoch restarts from fresh state.
+        """
+        if self._routing == "3hop":
+            self.router = ThreeHopRouter(
+                self._deliver, ppn=self._ppn, batch_bytes=self.batch_bytes
+            )
+        else:
+            self.router = DirectRouter(self._deliver, ppn=self._ppn)
         self.receivers = [
             ReceiverState(
                 r,
-                nranks,
-                fmt,
+                self.nranks,
+                self.fmt,
                 self.device,
-                value_bytes,
-                epoch=epoch,
-                block_size=block_size,
+                self.value_bytes,
+                epoch=self.epoch,
+                block_size=self._block_size,
                 capacity_hint=self._hint_per_rank,
-                aux_seed=seed,
-                bulk=bulk,
-                defer_aux=defer_aux,
+                aux_seed=self.seed,
+                bulk=self.bulk,
+                defer_aux=self.defer_aux,
                 metrics=self.metrics,
             )
-            for r in range(nranks)
+            for r in range(self.nranks)
         ]
         self.writers = [
             WriterState(
                 r,
-                fmt,
+                self.fmt,
                 self.partitioner,
                 self.device,
-                value_bytes,
+                self.value_bytes,
                 send=self._send,
-                batch_bytes=batch_bytes,
-                epoch=epoch,
-                block_size=block_size,
-                spill_budget_bytes=spill_budget_bytes,
-                bulk=bulk,
+                batch_bytes=self.batch_bytes,
+                epoch=self.epoch,
+                block_size=self._block_size,
+                spill_budget_bytes=self._spill_budget_bytes,
+                bulk=self.bulk,
                 metrics=self.metrics,
             )
-            for r in range(nranks)
+            for r in range(self.nranks)
         ]
         self._finished = False
 
@@ -172,6 +193,35 @@ class SimCluster:
         for r in self.receivers:
             r.finish()
         self._finished = True
+
+    # -- fault injection ---------------------------------------------------
+
+    def crash_at(self, op: int, pattern: str | None = None) -> None:
+        """Arm a hard crash at device operation ``op`` (see `FaultPlan`).
+
+        Requires the cluster to have been built with ``faults=``; the crash
+        surfaces as `repro.faults.CrashPoint` from whatever pipeline call
+        performs that operation.
+        """
+        if not isinstance(self.device, FaultyStorageDevice):
+            raise ValueError(
+                "crash_at needs a fault-injecting device; construct with faults=FaultPlan()"
+            )
+        self.device.plan.crash_at(op, pattern)
+
+    def recover(self, deep: bool = False) -> RecoveryReport:
+        """Bring the cluster back after a `CrashPoint` interrupted an epoch.
+
+        Revives the (crashed) device, runs `Manifest.recover` against it —
+        committed epochs are validated and kept, the interrupted epoch's
+        partial extents are swept — and rebuilds fresh per-rank pipeline
+        states so the epoch can be rerun from the start.
+        """
+        if isinstance(self.device, FaultyStorageDevice):
+            self.device.revive()
+        _, report = Manifest.recover(self.device, deep=deep, metrics=self.metrics)
+        self._build_states()
+        return report
 
     def run_epoch(self, records_per_rank: int, batch_records: int = 4096) -> ClusterStats:
         """Generate random KV pairs on every rank and run the full burst."""

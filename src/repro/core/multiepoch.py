@@ -19,13 +19,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs import MetricsRegistry
 from ..storage.blockio import DeviceProfile, StorageDevice
+from ..storage.envelope import unseal
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from ..cluster.simcluster import ClusterStats
-from ..storage.manifest import EpochInfo, Manifest
-from .formats import FMT_FILTERKV, FormatSpec
+from ..storage.manifest import EpochInfo, Manifest, RecoveryReport
+from .auxtable import AuxTable, aux_from_blob
+from .formats import FMT_FILTERKV, FORMATS, FormatSpec
 from .kv import KVBatch
+from .partitioning import HashPartitioner
 from .pipeline import aux_table_name, main_table_name
 from .reader import QueryEngine, QueryStats
 
@@ -44,6 +48,7 @@ class MultiEpochStore:
         batch_bytes: int = 16384,
         block_size: int = 1 << 20,
         seed: int = 0,
+        device: StorageDevice | None = None,
     ):
         self.nranks = nranks
         self.fmt = fmt
@@ -51,10 +56,78 @@ class MultiEpochStore:
         self.batch_bytes = batch_bytes
         self.block_size = block_size
         self.seed = seed
-        self.device = StorageDevice(device_profile)
+        self.device = device if device is not None else StorageDevice(device_profile)
         self.manifest = Manifest(fmt=fmt.name, nranks=nranks, value_bytes=value_bytes)
         self._engines: dict[int, QueryEngine] = {}
         self._next_epoch = 0
+
+    # -- attach / recover ----------------------------------------------------
+
+    @classmethod
+    def attach(cls, device: StorageDevice, **kwargs) -> "MultiEpochStore":
+        """Reopen a persisted dataset from its manifest alone.
+
+        Rebuilds a query engine for every committed epoch, reloading each
+        partition's auxiliary table from its sealed extent — the read side
+        of crash consistency: nothing about the dataset lives only in the
+        memory of the process that wrote it.
+        """
+        manifest = Manifest.load(device)
+        fmt = FORMATS.get(manifest.fmt)
+        if fmt is None:
+            raise ValueError(f"manifest names unknown format {manifest.fmt!r}")
+        store = cls(
+            nranks=manifest.nranks,
+            fmt=fmt,
+            value_bytes=manifest.value_bytes,
+            device=device,
+            **kwargs,
+        )
+        store.manifest = manifest
+        store._next_epoch = (max(manifest.epoch_ids) + 1) if manifest.epochs else 0
+        for epoch in manifest.epoch_ids:
+            store._engines[epoch] = store._attach_engine(epoch)
+        return store
+
+    @classmethod
+    def recover(
+        cls,
+        device: StorageDevice,
+        deep: bool = False,
+        metrics: MetricsRegistry | None = None,
+        **kwargs,
+    ) -> "tuple[MultiEpochStore | None, RecoveryReport]":
+        """Crash-recover the device, then attach to what survived.
+
+        Returns ``(store-or-None, report)`` — None when no valid manifest
+        survived (nothing was ever committed).
+        """
+        from ..faults import FaultyStorageDevice  # local: optional layer
+
+        if isinstance(device, FaultyStorageDevice):
+            device.revive()
+        manifest, report = Manifest.recover(device, deep=deep, metrics=metrics)
+        store = cls.attach(device, **kwargs) if manifest is not None else None
+        return store, report
+
+    def _attach_engine(self, epoch: int) -> QueryEngine:
+        """Query engine over one committed epoch, aux tables reloaded
+        from their sealed extents."""
+        aux_tables: list[AuxTable | None] = [None] * self.nranks
+        if self.fmt.name == "filterkv":
+            for rank in range(self.nranks):
+                f = self.device.open(aux_table_name(epoch, rank))
+                aux_tables[rank] = aux_from_blob(
+                    unseal(f.read(0, f.size)), metric_labels={"rank": str(rank)}
+                )
+        return QueryEngine(
+            device=self.device,
+            fmt=self.fmt,
+            nranks=self.nranks,
+            partitioner=HashPartitioner(self.nranks),
+            aux_tables=aux_tables,
+            epoch=epoch,
+        )
 
     # -- writing -----------------------------------------------------------
 

@@ -23,10 +23,11 @@ import numpy as np
 
 from ..obs import MetricsRegistry, active
 from ..storage.blockio import StorageDevice
+from ..storage.envelope import seal
 from ..storage.log import DataPointer, ValueLog
 from ..storage.memtable import MemTable, RunWriter, flatten_runs
 from ..storage.sstable import SSTableWriter, TableStats
-from .auxtable import AuxTable, make_aux_table
+from .auxtable import AuxTable, aux_to_blob, make_aux_table
 from .formats import FormatSpec
 from .kv import KEY_BYTES, KVBatch
 from .partitioning import HashPartitioner
@@ -370,6 +371,8 @@ class ReceiverState:
             return self._table.finish()
         self._build_aux()
         self.aux.record_structure_metrics()
-        blob = self.aux.to_bytes()
+        # Sealed self-describing blob: a crash mid-append leaves a torn seal
+        # that recovery detects, and a complete one reloads the table exactly.
+        blob = seal(aux_to_blob(self.aux))
         self.device.open(aux_table_name(self.epoch, self.rank), create=True).append(blob)
         return None

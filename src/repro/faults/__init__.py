@@ -1,0 +1,26 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+The two pieces:
+
+* `FaultPlan` / `FaultSpec` — a seeded schedule of faults (bit flips,
+  torn appends, dropped extents, injected I/O errors, hard crashes),
+  addressed by device operation index and/or extent-name glob.  Same
+  seed, same workload → byte-identical damage, so failing trials replay.
+* `FaultyStorageDevice` — a drop-in `StorageDevice` that executes the
+  plan through the public fault surface (`corrupt`/`truncate`/`delete`)
+  and goes *down* on crash until `revive()`.
+
+Injected faults are counted in the obs registry under
+``faults.injected{kind=...}`` and ``faults.crashes``.
+"""
+
+from .device import FaultyStorageDevice
+from .plan import FAULT_KINDS, CrashPoint, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "CrashPoint",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyStorageDevice",
+]

@@ -1,0 +1,130 @@
+"""A `StorageDevice` that injects scheduled faults into the I/O path.
+
+`FaultyStorageDevice` is a drop-in `StorageDevice`: it counts every
+charged read/append as one *operation*, consults its `FaultPlan` before
+and after each, and applies whatever fault fires using only the public
+fault surface (`corrupt` / `truncate` / `delete`) — so everything a
+fault does to stored bytes is something a test could also do by hand.
+
+Crash semantics: once a ``crash`` fires (or a ``torn_append`` tears an
+append), the device is *down* — every further read or append raises
+`CrashPoint` until `revive()` is called.  The extent store itself is
+untouched by revival; recovery code sees exactly the bytes that made it
+to storage before the crash, which is the whole point.
+"""
+
+from __future__ import annotations
+
+from ..obs import MetricsRegistry
+from ..storage.blockio import DeviceProfile, StorageDevice
+from .plan import CrashPoint, FaultPlan, FaultSpec
+
+__all__ = ["FaultyStorageDevice"]
+
+
+class FaultyStorageDevice(StorageDevice):
+    """Storage device wrapper that executes a `FaultPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule.  ``None`` means no faults — the device then
+        behaves exactly like a plain `StorageDevice` (plus op counting).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        profile: DeviceProfile | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        super().__init__(profile=profile, metrics=metrics)
+        self.plan = plan or FaultPlan()
+        self.op_index = 0
+        self.crashed = False
+        self._m_crashes = self.metrics.counter("faults.crashes")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def revive(self) -> None:
+        """Bring a crashed device back up; stored bytes are untouched."""
+        self.crashed = False
+
+    def _check_up(self) -> None:
+        if self.crashed:
+            raise CrashPoint(f"device is down (crashed at op {self.op_index})")
+
+    def _go_down(self, spec: FaultSpec, op: int, detail: str) -> None:
+        self.crashed = True
+        self._m_crashes.inc()
+        raise CrashPoint(f"{spec.kind} at op {op}: {detail}")
+
+    def _count_fault(self, spec: FaultSpec) -> None:
+        self.metrics.counter("faults.injected", kind=spec.kind).inc()
+
+    # -- faulted primitives ------------------------------------------------
+
+    def _read(self, name: str, offset: int, size: int) -> bytes:
+        self._check_up()
+        op = self.op_index
+        self.op_index += 1
+        spec = self.plan.take(op, name, "read")
+        if spec is not None:
+            self._apply_before_read(spec, op, name, offset, size)
+        return super()._read(name, offset, size)
+
+    def _append(self, name: str, data: bytes) -> int:
+        self._check_up()
+        op = self.op_index
+        self.op_index += 1
+        spec = self.plan.take(op, name, "append")
+        if spec is None:
+            return super()._append(name, data)
+        return self._apply_on_append(spec, op, name, data)
+
+    # -- fault application -------------------------------------------------
+
+    def _apply_before_read(
+        self, spec: FaultSpec, op: int, name: str, offset: int, size: int
+    ) -> None:
+        self._count_fault(spec)
+        if spec.kind == "crash":
+            self._go_down(spec, op, f"before read of {name!r}")
+        elif spec.kind == "io_error":
+            raise OSError(f"injected I/O error reading {name!r} at op {op}")
+        elif spec.kind == "drop_extent":
+            if self.exists(name):
+                self.delete(name)
+        elif spec.kind == "bit_flip":
+            # Flip a bit inside the range about to be read so the damage is
+            # guaranteed visible to this very read.
+            end = min(self.file_size(name), offset + max(size, 1))
+            if end > offset:
+                rng = self.plan.rng_for(op)
+                pos = offset + int(rng.integers(end - offset))
+                bit = int(spec.arg) if spec.arg is not None else int(rng.integers(8))
+                self.corrupt(name, pos, xor=1 << (bit & 7))
+        # torn_append is append-only; plan.take never hands it to a read.
+
+    def _apply_on_append(self, spec: FaultSpec, op: int, name: str, data: bytes) -> int:
+        self._count_fault(spec)
+        if spec.kind == "crash":
+            self._go_down(spec, op, f"before append of {len(data)} B to {name!r}")
+        if spec.kind == "io_error":
+            raise OSError(f"injected I/O error appending to {name!r} at op {op}")
+        offset = super()._append(name, data)
+        if spec.kind == "torn_append":
+            rng = self.plan.rng_for(op)
+            frac = float(spec.arg) if spec.arg is not None else float(rng.uniform(0.0, 1.0))
+            keep = int(len(data) * min(max(frac, 0.0), 1.0))
+            self.truncate(name, offset + keep)
+            self._go_down(spec, op, f"append to {name!r} tore after {keep}/{len(data)} B")
+        elif spec.kind == "drop_extent":
+            self.delete(name)
+        elif spec.kind == "bit_flip":
+            if data:
+                rng = self.plan.rng_for(op)
+                pos = offset + int(rng.integers(len(data)))
+                bit = int(spec.arg) if spec.arg is not None else int(rng.integers(8))
+                self.corrupt(name, pos, xor=1 << (bit & 7))
+        return offset

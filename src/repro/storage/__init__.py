@@ -8,9 +8,10 @@ Exports:
 * `compress` / `decompress` — Snappy-wire-format codec (paper §IV-C).
 """
 
-from .blockio import DeviceProfile, IOCounters, StorageDevice, StorageFile
+from .blockio import DeviceProfile, ExtentLostError, IOCounters, StorageDevice, StorageFile
 from .checksum import CHECKSUM_BYTES, fastsum64
-from .manifest import MANIFEST_NAME, EpochInfo, Manifest
+from .envelope import SEAL_OVERHEAD_BYTES, SealError, seal, try_unseal, unseal
+from .manifest import MANIFEST_NAME, MANIFEST_PREFIX, EpochInfo, Manifest, RecoveryReport
 from .compression import SnappyError, compress, compression_ratio, decompress
 from .log import POINTER_BYTES, DataPointer, ValueLog
 from .memtable import MemTable, RunWriter, flatten_runs
@@ -25,9 +26,17 @@ from .sstable import (
 
 __all__ = [
     "DeviceProfile",
+    "ExtentLostError",
     "IOCounters",
     "StorageDevice",
     "StorageFile",
+    "SEAL_OVERHEAD_BYTES",
+    "SealError",
+    "seal",
+    "try_unseal",
+    "unseal",
+    "MANIFEST_PREFIX",
+    "RecoveryReport",
     "SnappyError",
     "compress",
     "compression_ratio",

@@ -16,7 +16,24 @@ from dataclasses import dataclass, field
 
 from ..obs import MetricsRegistry, active
 
-__all__ = ["DeviceProfile", "IOCounters", "StorageDevice", "StorageFile"]
+__all__ = [
+    "DeviceProfile",
+    "ExtentLostError",
+    "IOCounters",
+    "StorageDevice",
+    "StorageFile",
+]
+
+
+class ExtentLostError(OSError):
+    """A read or write hit an extent that was deleted or truncated away.
+
+    Distinguishes *data loss* from an ordinary short read at end-of-file:
+    reads that start at or before the extent's current end return whatever
+    bytes exist (possibly fewer than requested), while reads that start
+    beyond it — the offset referred to bytes that no longer exist — raise
+    this instead of silently returning nothing.
+    """
 
 
 @dataclass(frozen=True)
@@ -110,8 +127,7 @@ class StorageDevice:
         return name in self._files
 
     def file_size(self, name: str) -> int:
-        buf = self._files[name]
-        return len(buf.getbuffer())
+        return len(self._require(name).getbuffer())
 
     def list_files(self) -> list[str]:
         return sorted(self._files)
@@ -119,10 +135,55 @@ class StorageDevice:
     def total_bytes_stored(self) -> int:
         return sum(len(b.getbuffer()) for b in self._files.values())
 
+    # -- fault surface (public; tests and fault injectors use these) ------
+
+    def corrupt(self, name: str, offset: int, delta: int | None = None,
+                xor: int | None = None) -> None:
+        """Modify one stored byte in place (no I/O charged — this models
+        at-rest damage, not an operation the workload performed).
+
+        Exactly one of ``delta`` (byte added mod 256; default 1) or ``xor``
+        (mask xored in, e.g. ``1 << bit`` for a single bit flip) applies.
+        """
+        if delta is not None and xor is not None:
+            raise ValueError("pass delta or xor, not both")
+        buf = self._require(name).getbuffer()
+        if not 0 <= offset < len(buf):
+            raise ValueError(f"offset {offset} outside extent {name!r} ({len(buf)} B)")
+        if xor is not None:
+            buf[offset] ^= xor & 0xFF
+        else:
+            buf[offset] = (buf[offset] + (1 if delta is None else delta)) % 256
+
+    def truncate(self, name: str, size: int) -> None:
+        """Cut an extent down to ``size`` bytes (a torn/partial flush)."""
+        buf = self._require(name)
+        if size < 0 or size > len(buf.getbuffer()):
+            raise ValueError(f"cannot truncate {name!r} to {size} bytes")
+        buf.truncate(size)
+
+    def delete(self, name: str) -> None:
+        """Drop an extent entirely (a lost file)."""
+        self._require(name)
+        del self._files[name]
+
+    def _require(self, name: str) -> io.BytesIO:
+        buf = self._files.get(name)
+        if buf is None:
+            raise FileNotFoundError(f"no such extent: {name!r}")
+        return buf
+
     # -- charged primitives, used by StorageFile --------------------------
 
     def _read(self, name: str, offset: int, size: int) -> bytes:
-        buf = self._files[name]
+        buf = self._files.get(name)
+        if buf is None:
+            raise ExtentLostError(f"extent {name!r} was deleted underneath a reader")
+        if offset > len(buf.getbuffer()):
+            raise ExtentLostError(
+                f"read at offset {offset} beyond extent {name!r} "
+                f"({len(buf.getbuffer())} B) — truncated underneath a reader?"
+            )
         data = buf.getbuffer()[offset : offset + size].tobytes()
         self.counters.reads += 1
         self.counters.bytes_read += len(data)
@@ -132,7 +193,9 @@ class StorageDevice:
         return data
 
     def _append(self, name: str, data: bytes) -> int:
-        buf = self._files[name]
+        buf = self._files.get(name)
+        if buf is None:
+            raise ExtentLostError(f"extent {name!r} was deleted underneath a writer")
         buf.seek(0, io.SEEK_END)
         offset = buf.tell()
         buf.write(data)
@@ -158,7 +221,13 @@ class StorageFile:
         return self.device._append(self.name, bytes(data))
 
     def read(self, offset: int, size: int) -> bytes:
-        """Read ``size`` bytes starting at ``offset`` (short read at EOF)."""
+        """Read ``size`` bytes starting at ``offset``.
+
+        A read that begins at or before the extent's end may come back
+        short (plain EOF); a read that begins *past* the end, or against a
+        deleted extent, raises `ExtentLostError` — the bytes the offset
+        referred to were lost underneath this handle.
+        """
         self._check_open()
         if offset < 0 or size < 0:
             raise ValueError("offset and size must be non-negative")

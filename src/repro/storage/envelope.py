@@ -1,0 +1,60 @@
+"""Sealed extents: self-validating byte envelopes for whole-blob records.
+
+Crash-consistent metadata (the manifest, auxiliary-table snapshots) is
+persisted as a *sealed* extent: a magic, the payload length, the payload,
+and a trailing `fastsum64` over everything before it.  A reader can then
+tell a complete record from a torn one without out-of-band state — a torn
+append leaves a short blob whose declared length exceeds the bytes
+present, and a bit flip anywhere breaks the checksum.
+
+The unit of atomicity in this storage model is the *whole extent*: commit
+protocols write a sealed extent under a fresh name and treat "the newest
+name whose seal validates" as the promoted version, so a crash at any
+byte boundary leaves the previous version intact and discoverable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .checksum import CHECKSUM_BYTES, fastsum64
+
+__all__ = ["seal", "unseal", "try_unseal", "SealError", "SEAL_OVERHEAD_BYTES"]
+
+_SEAL_MAGIC = 0x5EA1ED_EC7E_2025
+_HEADER = struct.Struct("<QQ")  # magic, payload length
+SEAL_OVERHEAD_BYTES = _HEADER.size + CHECKSUM_BYTES
+
+
+class SealError(ValueError):
+    """The blob is not a complete, unmodified sealed extent."""
+
+
+def seal(payload: bytes) -> bytes:
+    """Wrap ``payload`` so completeness and integrity are self-evident."""
+    body = _HEADER.pack(_SEAL_MAGIC, len(payload)) + bytes(payload)
+    return body + fastsum64(body).to_bytes(CHECKSUM_BYTES, "little")
+
+
+def unseal(blob: bytes) -> bytes:
+    """Return the payload, or raise `SealError` if torn or corrupted."""
+    if len(blob) < SEAL_OVERHEAD_BYTES:
+        raise SealError(f"blob of {len(blob)} bytes is too short to be sealed")
+    magic, length = _HEADER.unpack(blob[: _HEADER.size])
+    if magic != _SEAL_MAGIC:
+        raise SealError("bad seal magic")
+    expected = SEAL_OVERHEAD_BYTES + length
+    if len(blob) != expected:
+        raise SealError(f"sealed blob is {len(blob)} bytes, expected {expected} (torn write?)")
+    body, stored = blob[:-CHECKSUM_BYTES], blob[-CHECKSUM_BYTES:]
+    if fastsum64(body) != int.from_bytes(stored, "little"):
+        raise SealError("seal checksum mismatch")
+    return blob[_HEADER.size : _HEADER.size + length]
+
+
+def try_unseal(blob: bytes) -> bytes | None:
+    """`unseal`, but mapping every validation failure to ``None``."""
+    try:
+        return unseal(blob)
+    except SealError:
+        return None

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .blockio import StorageDevice, StorageFile
+from .blockio import ExtentLostError, StorageDevice, StorageFile
 
 __all__ = ["DataPointer", "ValueLog", "POINTER_BYTES"]
 
@@ -122,7 +122,10 @@ class ValueLog:
         """
         if pointer.rank != self.rank:
             raise ValueError(f"pointer targets rank {pointer.rank}, log is rank {self.rank}")
-        first = self._file.read(pointer.offset, self._LEN.size + size_hint)
+        try:
+            first = self._file.read(pointer.offset, self._LEN.size + size_hint)
+        except ExtentLostError as e:
+            raise ValueError(f"bad pointer offset {pointer.offset}: {e}") from e
         if len(first) < self._LEN.size:
             raise ValueError(f"bad pointer offset {pointer.offset}")
         (length,) = self._LEN.unpack(first[: self._LEN.size])

@@ -1,23 +1,40 @@
-"""Dataset manifest: what lives where across epochs.
+"""Dataset manifest: what lives where across epochs, committed atomically.
 
 A multi-timestep in-situ run leaves behind one set of partition files per
 dump epoch (main tables, value logs, aux tables).  The manifest records
 the dataset's shape — format, rank count, value width, per-epoch record
 counts and file inventories — so a reader program can open a dataset
-without out-of-band knowledge.  Stored as a JSON extent on the same
-device as the data.
+without out-of-band knowledge.
+
+Persistence follows the LevelDB/DeltaFS recipe adapted to this storage
+model, where the atomicity unit is a whole extent: `commit` writes a
+*sealed* JSON blob (magic + length + checksum, `repro.storage.envelope`)
+under a fresh generation name ``MANIFEST.<n>``; promotion is implicit —
+readers scan the generations and take the newest one whose seal
+validates.  A crash mid-commit leaves a torn blob that fails validation,
+so the previous generation wins and the interrupted epoch is simply not
+visible.  `recover` builds on that: it re-reads the surviving manifest,
+checks every referenced extent (footers and checksums included with
+``deep=True``), quarantines epochs whose files are missing or damaged,
+and sweeps extents no committed epoch references.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 
+from ..obs import MetricsRegistry, active
 from .blockio import StorageDevice
+from .envelope import seal, try_unseal
 
-__all__ = ["EpochInfo", "Manifest", "MANIFEST_NAME"]
+__all__ = ["EpochInfo", "Manifest", "RecoveryReport", "MANIFEST_NAME", "MANIFEST_PREFIX"]
 
-MANIFEST_NAME = "MANIFEST"
+MANIFEST_NAME = "MANIFEST"  # legacy single-extent name, still readable
+MANIFEST_PREFIX = "MANIFEST."
+_GENERATION_RE = re.compile(r"^MANIFEST\.(\d{6,})$")
+_KEEP_GENERATIONS = 2  # newest + one fallback survive each commit's sweep
 _VERSION = 1
 
 
@@ -63,6 +80,12 @@ class Manifest:
         self.epochs.append(info)
         self.epochs.sort(key=lambda e: e.epoch)
 
+    def remove_epoch(self, epoch: int) -> EpochInfo:
+        for i, e in enumerate(self.epochs):
+            if e.epoch == epoch:
+                return self.epochs.pop(i)
+        raise KeyError(f"no such epoch {epoch}")
+
     @property
     def total_records(self) -> int:
         return sum(e.records for e in self.epochs)
@@ -98,12 +121,196 @@ class Manifest:
             m.add_epoch(EpochInfo.from_dict(e))
         return m
 
+    # -- atomic commit -----------------------------------------------------
+
+    @staticmethod
+    def _generation_name(seq: int) -> str:
+        return f"{MANIFEST_PREFIX}{seq:06d}"
+
+    @staticmethod
+    def _scan_generations(device: StorageDevice) -> list[tuple[int, str]]:
+        """All ``MANIFEST.<n>`` extents present, newest first."""
+        gens = []
+        for name in device.list_files():
+            m = _GENERATION_RE.match(name)
+            if m:
+                gens.append((int(m.group(1)), name))
+        gens.sort(reverse=True)
+        return gens
+
+    def commit(self, device: StorageDevice) -> int:
+        """Atomically promote this manifest; returns the generation number.
+
+        The new generation is one sealed append — complete or torn, never
+        half-interpreted.  Older generations beyond a small keep window
+        (and any legacy unsealed ``MANIFEST`` extent) are swept afterwards;
+        a crash between the append and the sweep only leaves extra old
+        generations, which the next load ignores and the next commit sweeps.
+        """
+        gens = self._scan_generations(device)
+        seq = (gens[0][0] + 1) if gens else 1
+        device.open(self._generation_name(seq), create=True).append(seal(self.to_bytes()))
+        for old_seq, name in gens[_KEEP_GENERATIONS - 1 :]:
+            device.delete(name)
+        if device.exists(MANIFEST_NAME):
+            device.delete(MANIFEST_NAME)
+        return seq
+
     def save(self, device: StorageDevice) -> None:
-        """(Re)write the manifest extent on the device."""
-        device._files.pop(MANIFEST_NAME, None)  # manifests are replaced whole
-        device.open(MANIFEST_NAME, create=True).append(self.to_bytes())
+        """Back-compat alias for `commit`."""
+        self.commit(device)
 
     @classmethod
     def load(cls, device: StorageDevice) -> "Manifest":
-        f = device.open(MANIFEST_NAME)
-        return cls.from_bytes(f.read(0, f.size))
+        """Newest generation whose seal validates; torn commits lose.
+
+        Falls back to the legacy unsealed ``MANIFEST`` extent for datasets
+        written before generations existed.
+        """
+        m = cls._load_valid(device)[1]
+        if m is None:
+            raise FileNotFoundError("no valid manifest on device")
+        return m
+
+    @classmethod
+    def _load_valid(
+        cls, device: StorageDevice
+    ) -> tuple[int | None, "Manifest | None", list[str]]:
+        """(generation, manifest, invalid-extent-names) for the device."""
+        invalid: list[str] = []
+        for seq, name in cls._scan_generations(device):
+            f = device.open(name)
+            payload = try_unseal(f.read(0, f.size))
+            if payload is not None:
+                try:
+                    return seq, cls.from_bytes(payload), invalid
+                except ValueError:
+                    pass
+            invalid.append(name)
+        if device.exists(MANIFEST_NAME):
+            f = device.open(MANIFEST_NAME)
+            try:
+                return 0, cls.from_bytes(f.read(0, f.size)), invalid
+            except ValueError:
+                invalid.append(MANIFEST_NAME)
+        return None, None, invalid
+
+    # -- crash recovery ----------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        device: StorageDevice,
+        deep: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> "tuple[Manifest | None, RecoveryReport]":
+        """Bring the device back to a consistent, fully-readable state.
+
+        * the newest valid manifest generation wins; torn or corrupt ones
+          are discarded (a crash mid-commit reverts to the prior epoch set);
+        * every committed epoch's extents are checked — existence always,
+          footers/section checksums for tables and sealed aux blobs, full
+          data-block verification with ``deep=True`` — and epochs that fail
+          are *quarantined* (dropped from the manifest, reported);
+        * extents no surviving epoch references (partial output of the
+          interrupted epoch, spill runs, stale manifests) are swept.
+
+        Returns ``(manifest-or-None, report)``; the repaired manifest is
+        re-committed when quarantining changed it.
+        """
+        reg = active(metrics)
+        generation, manifest, invalid = cls._load_valid(device)
+        quarantined: list[tuple[int, str]] = []
+        if manifest is not None:
+            for info in list(manifest.epochs):
+                problem = _validate_epoch(device, info, deep=deep)
+                if problem is not None:
+                    manifest.remove_epoch(info.epoch)
+                    quarantined.append((info.epoch, problem))
+        if quarantined:
+            generation = manifest.commit(device)
+
+        referenced: set[str] = set()
+        if manifest is not None:
+            for info in manifest.epochs:
+                referenced.update(info.files)
+            for _, name in cls._scan_generations(device)[:_KEEP_GENERATIONS]:
+                referenced.add(name)
+        orphans: list[str] = []
+        bytes_reclaimed = 0
+        for name in device.list_files():
+            if name not in referenced:
+                bytes_reclaimed += device.file_size(name)
+                device.delete(name)
+                orphans.append(name)
+
+        committed = manifest.epoch_ids if manifest is not None else []
+        reg.counter("recovery.runs").inc()
+        reg.counter("recovery.epochs_committed").inc(len(committed))
+        reg.counter("recovery.epochs_quarantined").inc(len(quarantined))
+        reg.counter("recovery.orphans_removed").inc(len(orphans))
+        reg.counter("recovery.bytes_reclaimed").inc(bytes_reclaimed)
+        reg.counter("recovery.invalid_manifests").inc(len(invalid))
+        report = RecoveryReport(
+            generation=generation,
+            committed_epochs=committed,
+            quarantined_epochs=quarantined,
+            orphans_removed=orphans,
+            invalid_manifests=invalid,
+            bytes_reclaimed=bytes_reclaimed,
+        )
+        return manifest, report
+
+
+def _validate_epoch(device: StorageDevice, info: EpochInfo, deep: bool) -> str | None:
+    """None if every extent the epoch references is present and sound,
+    else a human-readable description of the first problem found."""
+    from .sstable import SSTableReader  # local: keep module import light
+
+    for name in info.files:
+        if not device.exists(name):
+            return f"missing extent {name!r}"
+        try:
+            if name.startswith("part."):
+                reader = SSTableReader(device, name)
+                if deep:
+                    reader.scan()
+            elif name.startswith("aux."):
+                f = device.open(name)
+                payload = try_unseal(f.read(0, f.size))
+                if payload is None:
+                    return f"aux extent {name!r} torn or corrupt"
+        except ValueError as e:  # bad magic, checksum mismatch, truncation
+            return f"extent {name!r} unreadable: {e}"
+    return None
+
+
+@dataclass
+class RecoveryReport:
+    """What `Manifest.recover` found and did."""
+
+    generation: int | None
+    committed_epochs: list[int]
+    quarantined_epochs: list[tuple[int, str]]
+    orphans_removed: list[str]
+    invalid_manifests: list[str]
+    bytes_reclaimed: int
+
+    @property
+    def clean(self) -> bool:
+        return not (self.quarantined_epochs or self.orphans_removed or self.invalid_manifests)
+
+    def summary(self) -> str:
+        lines = [
+            f"manifest generation: {self.generation if self.generation is not None else '(none)'}",
+            f"committed epochs:    {self.committed_epochs or '(none)'}",
+        ]
+        for epoch, why in self.quarantined_epochs:
+            lines.append(f"quarantined epoch {epoch}: {why}")
+        if self.invalid_manifests:
+            lines.append(f"discarded manifests: {', '.join(self.invalid_manifests)}")
+        lines.append(
+            f"swept {len(self.orphans_removed)} orphan extent(s), "
+            f"reclaimed {self.bytes_reclaimed:,} B"
+        )
+        return "\n".join(lines)

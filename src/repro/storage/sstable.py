@@ -14,12 +14,19 @@ Layout (all little-endian, 8-byte keys as in the paper's workloads)::
 
     [data block]*  [filter block]  [index block]  [footer (64 B)]
 
-    data block  := u32 nentries, then nentries × (u64 key, u32 vlen, value)
+    data block  := u32 nentries, then nentries × (u64 key, u32 vlen, value),
+                   then u64 fastsum64 of everything before it
+    filter block:= bloom bytes ‖ u64 fastsum64          (absent when empty)
     index block := u32 nblocks, then nblocks × (u64 first, u64 last,
-                                                u64 off, u32 len, u32 n)
+                   u64 off, u32 len, u32 n), then u64 fastsum64
     footer      := magic u64, index_off u64, index_len u64,
                    filter_off u64, filter_len u64, nentries u64,
-                   block_size u32, bloom_nhashes u32, reserved u64
+                   block_size u32, bloom_nhashes u32,
+                   u64 fastsum64 of the first 56 footer bytes
+
+    Every section carries its own checksum, so corruption anywhere in the
+    table — data, filter, index, or footer — is detected at read time
+    rather than silently changing answers.
 
 Writers buffer entries, sort by key, and emit blocks of ``block_size``
 bytes.  Readers are handed a `StorageFile`, so every access is charged to
@@ -51,7 +58,7 @@ class CorruptBlockError(ValueError):
 
 _MAGIC = 0xF117E5CB_DE17AF5
 FOOTER_BYTES = 64
-_FOOTER = struct.Struct("<QQQQQQIIQ")
+_FOOTER_BODY = struct.Struct("<QQQQQQII")  # + trailing fastsum64 = 64 B
 _ENTRY_HDR = struct.Struct("<QI")
 _U32 = struct.Struct("<I")
 _INDEX_ENTRY = struct.Struct("<QQQII")
@@ -268,34 +275,36 @@ class SSTableWriter:
                     flush_block()
             flush_block()
 
-        # Filter block.
+        # Filter block (checksummed like data blocks).
         filter_blob = b""
         bloom_nhashes = 0
         if self.bloom_bits_per_key > 0 and nentries > 0:
             bf = BloomFilter.from_bits_per_key(nentries, self.bloom_bits_per_key)
             bf.add_many(keys)
             filter_blob = bf.to_bytes()
+            filter_blob += fastsum64(filter_blob).to_bytes(CHECKSUM_BYTES, "little")
             bloom_nhashes = bf.nhashes
         filter_off = self._file.append(filter_blob) if filter_blob else self._file.size
 
-        # Index block.
+        # Index block (checksummed like data blocks).
         index_blob = _U32.pack(len(index_entries)) + b"".join(
             _INDEX_ENTRY.pack(*e) for e in index_entries
         )
+        index_blob += fastsum64(index_blob).to_bytes(CHECKSUM_BYTES, "little")
         index_off = self._file.append(index_blob)
 
+        footer_body = _FOOTER_BODY.pack(
+            _MAGIC,
+            index_off,
+            len(index_blob),
+            filter_off,
+            len(filter_blob),
+            nentries,
+            self.block_size,
+            bloom_nhashes,
+        )
         self._file.append(
-            _FOOTER.pack(
-                _MAGIC,
-                index_off,
-                len(index_blob),
-                filter_off,
-                len(filter_blob),
-                nentries,
-                self.block_size,
-                bloom_nhashes,
-                0,
-            )
+            footer_body + fastsum64(footer_body).to_bytes(CHECKSUM_BYTES, "little")
         )
         self._chunks.clear()
         return TableStats(
@@ -324,6 +333,7 @@ class SSTableReader:
         if size < FOOTER_BYTES:
             raise ValueError(f"table {name!r} too small to hold a footer")
         footer = self._file.read(size - FOOTER_BYTES, FOOTER_BYTES)
+        body, stored = footer[: _FOOTER_BODY.size], footer[_FOOTER_BODY.size :]
         (
             magic,
             index_off,
@@ -333,10 +343,11 @@ class SSTableReader:
             self.nentries,
             self.block_size,
             bloom_nhashes,
-            _reserved,
-        ) = _FOOTER.unpack(footer)
+        ) = _FOOTER_BODY.unpack(body)
         if magic != _MAGIC:
             raise ValueError(f"bad magic in table {name!r}")
+        if self.verify_checksums and fastsum64(body) != int.from_bytes(stored, "little"):
+            raise CorruptBlockError(f"footer checksum mismatch in table {name!r}")
         # Filter and index blobs are adjacent on storage; fetch them with a
         # single read, like the paper's "load the partition's indexes"
         # step (one ~12 MB read in their runs).
@@ -347,6 +358,9 @@ class SSTableReader:
         else:
             filter_blob = b""
             index_blob = self._file.read(index_off, index_len)
+        index_blob = self._checked(index_blob, "index block", name)
+        if filter_blob:
+            filter_blob = self._checked(filter_blob, "filter block", name)
         (nblocks,) = _U32.unpack(index_blob[:4])
         raw = np.frombuffer(
             index_blob, dtype=np.uint8, count=nblocks * _INDEX_ENTRY.size, offset=4
@@ -363,6 +377,15 @@ class SSTableReader:
         self._bloom: BloomFilter | None = None
         if filter_len:
             self._bloom = BloomFilter.from_bytes(filter_blob, bloom_nhashes)
+
+    def _checked(self, blob: bytes, what: str, name: str) -> bytes:
+        """Verify and strip a section's trailing checksum."""
+        if len(blob) < CHECKSUM_BYTES + 4:
+            raise CorruptBlockError(f"{what} truncated to {len(blob)} bytes in {name!r}")
+        body, stored = blob[:-CHECKSUM_BYTES], blob[-CHECKSUM_BYTES:]
+        if self.verify_checksums and fastsum64(body) != int.from_bytes(stored, "little"):
+            raise CorruptBlockError(f"{what} checksum mismatch in table {name!r}")
+        return body
 
     def may_contain(self, key: int) -> bool:
         """Bloom-filter gate: False means the key is definitely absent."""

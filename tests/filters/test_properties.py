@@ -13,7 +13,8 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.filters.bloom import BloomFilter
+from repro.core.auxtable import bloom_bits_per_key
+from repro.filters.bloom import BloomFilter, false_positive_rate
 from repro.filters.cuckoo import ChainedCuckooTable, PartialKeyCuckooTable
 from repro.filters.cuckoofilter import CuckooFilter
 from repro.filters.quotient import QuotientFilter
@@ -81,6 +82,59 @@ def test_cuckoo_chunked_inserts_equivalent(keys, split, seed):
     for k in arr:
         assert 7 in b.candidate_values(int(k))
         assert a.contains(int(k)) and b.contains(int(k))
+
+
+@given(
+    nkeys=st.integers(min_value=150, max_value=600),
+    seed=st.integers(min_value=0, max_value=2**31),
+    split=st.integers(min_value=1, max_value=149),
+)
+@settings(max_examples=25, deadline=None)
+def test_chained_cuckoo_matches_dict_oracle_across_growth(nkeys, seed, split):
+    """Insert/query equivalence against a plain dict oracle, with the first
+    physical table deliberately undersized so every run crosses at least
+    one growth boundary (keys straddle the table chain)."""
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(np.uint64(1) << np.uint64(62), size=nkeys, replace=False)
+    vals = rng.integers(0, 256, size=nkeys).astype(np.uint32)
+    oracle = {int(k): int(v) for k, v in zip(keys, vals)}
+    t = ChainedCuckooTable(fp_bits=12, value_bits=8, min_buckets=4, seed=seed)
+    # Mixed ingestion: a bulk chunk, then scalar inserts for the rest.
+    t.insert_many(keys[:split], vals[:split])
+    for k, v in zip(keys[split:], vals[split:]):
+        t.insert(int(k), int(v))
+    assert len(t.tables) >= 2, "growth boundary never crossed"
+    assert len(t) == nkeys
+    for k, v in oracle.items():
+        # The oracle's value must be among the candidates (partial-key
+        # tables may return extra candidates, never miss the real one).
+        assert v in t.candidate_values(k)
+    counts = t.candidate_counts(keys)
+    assert (counts >= 1).all()
+
+
+@given(
+    nparts=st.sampled_from([16, 64, 256]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=10, deadline=None)
+def test_bloom_fpr_within_2x_analytic_bound(nparts, seed):
+    """At the paper's ``4 + log2(N)`` bits-per-key budget, the measured
+    false-positive rate over disjoint probe keys stays within 2x of the
+    analytic ``(1 - e^(-kn/m))^k`` rate."""
+    bpk = bloom_bits_per_key(nparts)
+    analytic = false_positive_rate(bpk)
+    rng = np.random.default_rng(seed)
+    universe = rng.choice(np.uint64(1) << np.uint64(62), size=12_000, replace=False)
+    members, probes = universe[:4000], universe[4000:]
+    f = BloomFilter.from_bits_per_key(len(members), bpk, seed=seed)
+    f.add_many(members)
+    measured = float(f.contains_many(probes).mean())
+    assert measured <= 2.0 * analytic, (
+        f"nparts={nparts}: measured FPR {measured:.4f} exceeds "
+        f"2x analytic {analytic:.4f}"
+    )
+    assert f.contains_many(members).all()  # and still no false negatives
 
 
 @given(

@@ -1,4 +1,11 @@
-"""Failure injection: corrupted storage must be detected, never served."""
+"""Failure injection: corrupted storage must be detected, never served.
+
+All damage is introduced through the public fault surface on
+`StorageDevice` (``corrupt`` / ``truncate``) — the same hooks the
+``repro.faults`` plans use — so these tests double as a contract check
+on that API.  Coverage walks the whole table layout: data blocks, the
+filter block, the index block, the footer body, and the footer checksum.
+"""
 
 import numpy as np
 import pytest
@@ -9,11 +16,6 @@ from repro.core.kv import random_kv_batch
 from repro.core.pipeline import main_table_name
 from repro.storage.blockio import StorageDevice
 from repro.storage.sstable import CorruptBlockError, SSTableReader, SSTableWriter
-
-
-def _corrupt(device: StorageDevice, name: str, offset: int, delta: int = 1) -> None:
-    buf = device._files[name].getbuffer()
-    buf[offset] = (buf[offset] + delta) % 256
 
 
 def _build_table(dev, n=500):
@@ -29,7 +31,7 @@ def test_data_block_corruption_detected():
     r = SSTableReader(dev, "t")
     assert r.get(123) is not None
     # Flip a byte in the middle of the data region.
-    _corrupt(dev, "t", stats.data_bytes // 2)
+    dev.corrupt("t", stats.data_bytes // 2)
     r2 = SSTableReader(dev, "t")
     hit_corruption = False
     for k in range(0, 500, 13):
@@ -43,37 +45,73 @@ def test_data_block_corruption_detected():
 def test_corruption_ignored_when_verification_disabled():
     dev = StorageDevice()
     stats = _build_table(dev)
-    _corrupt(dev, "t", stats.data_bytes // 2)
+    dev.corrupt("t", stats.data_bytes // 2)
     r = SSTableReader(dev, "t", verify_checksums=False)
     # No exception — the reader knowingly serves unverified bytes.
     for k in range(0, 500, 13):
         r.get(k)
 
 
+def test_filter_block_corruption_detected():
+    dev = StorageDevice()
+    stats = _build_table(dev)
+    assert stats.filter_bytes > 0
+    # The filter block sits right after the data region; its checksum is
+    # verified when the reader opens the table.
+    dev.corrupt("t", stats.data_bytes + stats.filter_bytes // 2, xor=0x40)
+    with pytest.raises(CorruptBlockError, match="filter block"):
+        SSTableReader(dev, "t")
+
+
+def test_index_block_corruption_detected():
+    dev = StorageDevice()
+    stats = _build_table(dev)
+    # The index block sits between the filter block and the footer.
+    dev.corrupt("t", stats.data_bytes + stats.filter_bytes + stats.index_bytes // 2)
+    with pytest.raises(CorruptBlockError, match="index block"):
+        SSTableReader(dev, "t")
+
+
 def test_footer_corruption_detected():
     dev = StorageDevice()
     _build_table(dev)
     size = dev.file_size("t")
-    _corrupt(dev, "t", size - 30)  # inside the footer
+    dev.corrupt("t", size - 30)  # inside the footer body
     with pytest.raises(ValueError):
+        SSTableReader(dev, "t")
+
+
+def test_footer_checksum_corruption_detected():
+    dev = StorageDevice()
+    _build_table(dev)
+    size = dev.file_size("t")
+    dev.corrupt("t", size - 4, xor=0x01)  # inside the trailing fastsum64
+    with pytest.raises(CorruptBlockError, match="footer checksum"):
         SSTableReader(dev, "t")
 
 
 def test_truncated_table_detected():
     dev = StorageDevice()
     _build_table(dev)
-    import io
-
-    blob = dev._files["t"].getbuffer().tobytes()[:40]
-    dev._files["trunc"] = io.BytesIO(blob)
+    dev.truncate("t", 40)  # shorter than the 64-byte footer
     with pytest.raises(ValueError):
-        SSTableReader(dev, "trunc")
+        SSTableReader(dev, "t")
+
+
+def test_table_truncated_mid_footer_detected():
+    dev = StorageDevice()
+    _build_table(dev)
+    # Drop the tail of the footer: what remains parses as a misaligned
+    # footer window whose magic/checksum cannot both survive.
+    dev.truncate("t", dev.file_size("t") - 16)
+    with pytest.raises(ValueError):
+        SSTableReader(dev, "t")
 
 
 def test_scan_detects_corruption():
     dev = StorageDevice()
     stats = _build_table(dev)
-    _corrupt(dev, "t", stats.data_bytes // 3)
+    dev.corrupt("t", stats.data_bytes // 3)
     r = SSTableReader(dev, "t")
     with pytest.raises(CorruptBlockError):
         r.scan()
@@ -91,7 +129,7 @@ def test_cluster_partition_corruption_surfaces_in_queries(fmt):
     # Damage every partition's data region.
     for rank in range(4):
         name = main_table_name(0, rank)
-        _corrupt(cluster.device, name, cluster.device.file_size(name) // 3)
+        cluster.device.corrupt(name, cluster.device.file_size(name) // 3)
     engine = cluster.query_engine()
     outcomes = {"ok": 0, "detected": 0}
     for rank, batch in enumerate(batches):

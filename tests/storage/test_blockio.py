@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.storage.blockio import DeviceProfile, IOCounters, StorageDevice
+from repro.storage.blockio import (
+    DeviceProfile,
+    ExtentLostError,
+    IOCounters,
+    StorageDevice,
+)
 
 
 def test_append_then_read_roundtrip():
@@ -20,8 +25,66 @@ def test_short_read_at_eof():
     dev = StorageDevice()
     f = dev.open("x", create=True)
     f.append(b"abc")
-    assert f.read(1, 100) == b"bc"
-    assert f.read(50, 10) == b""
+    assert f.read(1, 100) == b"bc"  # short read: offset within the extent
+    assert f.read(3, 10) == b""  # exactly at EOF is still EOF, not loss
+
+
+def test_read_past_end_is_loss_not_eof():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    f.append(b"abc")
+    with pytest.raises(ExtentLostError):
+        f.read(50, 10)
+
+
+def test_read_after_truncate_underneath_raises():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    f.append(b"0123456789")
+    dev.truncate("x", 4)
+    assert f.read(0, 4) == b"0123"
+    with pytest.raises(ExtentLostError):
+        f.read(8, 2)  # those bytes were lost, not merely never written
+
+
+def test_read_and_append_after_delete_underneath_raise():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    f.append(b"abc")
+    dev.delete("x")
+    with pytest.raises(ExtentLostError):
+        f.read(0, 1)
+    with pytest.raises(ExtentLostError):
+        f.append(b"more")
+
+
+def test_corrupt_api_validates_and_flips():
+    dev = StorageDevice()
+    f = dev.open("x", create=True)
+    f.append(bytes([0x10, 0x20, 0x30]))
+    dev.corrupt("x", 1)  # default: +1
+    assert f.read(0, 3) == bytes([0x10, 0x21, 0x30])
+    dev.corrupt("x", 1, xor=0x80)  # single-bit flip
+    assert f.read(0, 3) == bytes([0x10, 0xA1, 0x30])
+    with pytest.raises(ValueError):
+        dev.corrupt("x", 99)
+    with pytest.raises(ValueError):
+        dev.corrupt("x", 0, delta=1, xor=1)
+    with pytest.raises(FileNotFoundError):
+        dev.corrupt("nope", 0)
+
+
+def test_truncate_and_delete_validate():
+    dev = StorageDevice()
+    dev.open("x", create=True).append(b"abcdef")
+    with pytest.raises(ValueError):
+        dev.truncate("x", 99)
+    dev.truncate("x", 2)
+    assert dev.file_size("x") == 2
+    with pytest.raises(FileNotFoundError):
+        dev.delete("gone")
+    dev.delete("x")
+    assert not dev.exists("x")
 
 
 def test_missing_file_raises():

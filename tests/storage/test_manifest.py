@@ -1,9 +1,10 @@
-"""Unit tests for the dataset manifest."""
+"""Unit tests for the dataset manifest and its atomic commit path."""
 
 import pytest
 
 from repro.storage.blockio import StorageDevice
-from repro.storage.manifest import MANIFEST_NAME, EpochInfo, Manifest
+from repro.storage.envelope import seal
+from repro.storage.manifest import MANIFEST_NAME, MANIFEST_PREFIX, EpochInfo, Manifest
 
 
 def _info(epoch, records=100):
@@ -27,7 +28,7 @@ def test_save_and_load_from_device():
     m = Manifest(fmt="base", nranks=4, value_bytes=24)
     m.add_epoch(_info(0))
     m.save(dev)
-    assert dev.exists(MANIFEST_NAME)
+    assert any(n.startswith(MANIFEST_PREFIX) for n in dev.list_files())
     n = Manifest.load(dev)
     assert n.fmt == "base" and n.total_records == 100
 
@@ -39,6 +40,71 @@ def test_save_replaces_previous():
     m.add_epoch(_info(0))
     m.save(dev)
     assert Manifest.load(dev).epoch_ids == [0]
+
+
+def test_commit_generations_increment_and_gc():
+    dev = StorageDevice()
+    m = Manifest(fmt="base", nranks=4, value_bytes=24)
+    seqs = []
+    for epoch in range(4):
+        m.add_epoch(_info(epoch))
+        seqs.append(m.commit(dev))
+    assert seqs == [1, 2, 3, 4]
+    gens = sorted(n for n in dev.list_files() if n.startswith(MANIFEST_PREFIX))
+    assert gens == ["MANIFEST.000003", "MANIFEST.000004"]  # keep window of 2
+    assert Manifest.load(dev).epoch_ids == [0, 1, 2, 3]
+
+
+def test_torn_commit_falls_back_to_previous_generation():
+    dev = StorageDevice()
+    m = Manifest(fmt="base", nranks=4, value_bytes=24)
+    m.add_epoch(_info(0))
+    m.commit(dev)
+    m.add_epoch(_info(1))
+    m.commit(dev)
+    # Tear the newest generation mid-blob, as a crash during commit would.
+    newest = max(n for n in dev.list_files() if n.startswith(MANIFEST_PREFIX))
+    dev.truncate(newest, dev.file_size(newest) // 2)
+    assert Manifest.load(dev).epoch_ids == [0]  # previous version wins
+
+
+def test_corrupt_commit_falls_back_to_previous_generation():
+    dev = StorageDevice()
+    m = Manifest(fmt="base", nranks=4, value_bytes=24)
+    m.add_epoch(_info(0))
+    m.commit(dev)
+    m.add_epoch(_info(1))
+    m.commit(dev)
+    newest = max(n for n in dev.list_files() if n.startswith(MANIFEST_PREFIX))
+    dev.corrupt(newest, dev.file_size(newest) // 2, xor=0x40)
+    assert Manifest.load(dev).epoch_ids == [0]
+
+
+def test_load_reads_legacy_unsealed_manifest():
+    dev = StorageDevice()
+    m = Manifest(fmt="base", nranks=4, value_bytes=24)
+    m.add_epoch(_info(0))
+    dev.open(MANIFEST_NAME, create=True).append(m.to_bytes())
+    assert Manifest.load(dev).epoch_ids == [0]
+    # A sealed generation, once present, wins over the legacy extent.
+    m.add_epoch(_info(1))
+    dev.open(f"{MANIFEST_PREFIX}000001", create=True).append(seal(m.to_bytes()))
+    assert Manifest.load(dev).epoch_ids == [0, 1]
+
+
+def test_load_with_no_manifest_raises():
+    with pytest.raises(FileNotFoundError):
+        Manifest.load(StorageDevice())
+
+
+def test_remove_epoch():
+    m = Manifest(fmt="base", nranks=2, value_bytes=8)
+    m.add_epoch(_info(0))
+    m.add_epoch(_info(1))
+    assert m.remove_epoch(0).epoch == 0
+    assert m.epoch_ids == [1]
+    with pytest.raises(KeyError):
+        m.remove_epoch(0)
 
 
 def test_epochs_kept_sorted():
