@@ -12,6 +12,10 @@ Commands:
   KV size, read weight);
 * ``recover``  — crash-consistency demo: write epochs under fault
   injection, crash mid-epoch, recover, verify what survived;
+* ``serve``    — build a synthetic dataset and serve point queries over
+  the sealed-frame TCP protocol (``repro.serve``);
+* ``loadgen``  — drive a serving tier with Zipfian/uniform load and
+  print client-observed QPS, latency quantiles, and shed counts;
 * ``table1``   — print the paper's Table I from the Bloom math;
 * ``machines`` — list the built-in machine models.
 """
@@ -103,6 +107,46 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument(
         "--deep", action="store_true", help="verify data-block checksums during recovery"
     )
+
+    def _dataset_args(sp, ranks=8, records=2_000):
+        sp.add_argument("--ranks", type=int, default=ranks)
+        sp.add_argument("--records", type=int, default=records, help="records per rank")
+        sp.add_argument("--epochs", type=int, default=1)
+        sp.add_argument("--value-bytes", type=int, default=24)
+        sp.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("serve", help="serve point queries over TCP (repro.serve)")
+    s.add_argument(
+        "--format", dest="fmt", choices=["base", "dataptr", "filterkv"], default="filterkv"
+    )
+    _dataset_args(s)
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=0, help="0 = let the OS pick")
+    s.add_argument("--max-batch", type=int, default=64)
+    s.add_argument("--max-inflight", type=int, default=1024)
+    s.add_argument("--queue-high-watermark", type=int, default=512)
+
+    lg = sub.add_parser("loadgen", help="drive a serving tier and report latency/QPS")
+    lg.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["base", "dataptr", "filterkv", "all"],
+        default="all",
+    )
+    _dataset_args(lg)
+    lg.add_argument("--requests", type=int, default=5_000)
+    lg.add_argument("--mode", choices=["closed", "open"], default="closed")
+    lg.add_argument("--concurrency", type=int, default=16, help="closed-loop workers")
+    lg.add_argument("--rate", type=float, default=20_000.0, help="open-loop arrival QPS")
+    lg.add_argument(
+        "--distribution", choices=["zipfian", "uniform"], default="zipfian"
+    )
+    lg.add_argument("--theta", type=float, default=1.0, help="Zipfian skew")
+    lg.add_argument("--deadline-ms", type=float, default=None)
+    lg.add_argument(
+        "--tcp", action="store_true", help="go through the TCP front end, not in-process"
+    )
+    lg.add_argument("--json-out", metavar="FILE", default=None, help="also write reports as JSON")
 
     a = sub.add_parser("advise", help="recommend a format for a deployment")
     a.add_argument("--machine", default="narwhal")
@@ -343,6 +387,145 @@ def _cmd_recover(args) -> str:
     return "\n".join(lines)
 
 
+def _build_served_store(args):
+    """Synthetic dataset for the serving commands: ``--epochs`` dumps of
+    random KV pairs (random keys ⇒ writer rank uncorrelated with owner,
+    so FilterKV sees realistic false-candidate rates).  Returns
+    ``(store, keys, expected)`` where ``expected`` maps every newest-epoch
+    key to its value."""
+    from .core.formats import FORMATS
+    from .core.kv import random_kv_batch
+    from .core.multiepoch import MultiEpochStore
+
+    fmt = FORMATS[args.fmt]
+    store = MultiEpochStore(
+        nranks=args.ranks, fmt=fmt, value_bytes=args.value_bytes, seed=args.seed
+    )
+    rng = np.random.default_rng(args.seed)
+    expected: dict[int, bytes] = {}
+    for _ in range(args.epochs):
+        batches = [
+            random_kv_batch(args.records, args.value_bytes, rng) for _ in range(args.ranks)
+        ]
+        store.write_epoch(batches)
+        expected = {
+            int(k): bytes(v)
+            for b in batches
+            for k, v in zip(b.keys, np.asarray(b.values).reshape(len(b), -1))
+        }
+    keys = np.fromiter(expected, dtype=np.int64)
+    return store, keys, expected
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import QueryService, ServeServer
+
+    store, keys, _ = _build_served_store(args)
+    print(store.describe())
+
+    async def run() -> None:
+        service = QueryService(
+            store,
+            max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+            queue_high_watermark=args.queue_high_watermark,
+        )
+        async with ServeServer(service, host=args.host, port=args.port) as server:
+            # flush so clients scripting around a piped server see the
+            # bound port before the first query
+            print(
+                f"serving {keys.size:,} keys on {server.host}:{server.port} "
+                "(Ctrl-C to stop)",
+                flush=True,
+            )
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def _cmd_loadgen(args) -> str:
+    import asyncio
+
+    from .analysis.reporting import render_table
+    from .serve import InprocClient, KeySampler, QueryService, ServeServer, TCPClient, run_load
+
+    formats = ["base", "dataptr", "filterkv"] if args.fmt == "all" else [args.fmt]
+    deadline_s = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+    rows, reports = [], []
+
+    async def drive(fmt_name: str):
+        sub_args = argparse.Namespace(**{**vars(args), "fmt": fmt_name})
+        store, keys, expected = _build_served_store(sub_args)
+        sampler = KeySampler(
+            keys, distribution=args.distribution, theta=args.theta, seed=args.seed
+        )
+        service = QueryService(store)
+        if args.tcp:
+            async with ServeServer(service) as server:
+                async with TCPClient(server.host, server.port) as client:
+                    report = await run_load(
+                        client,
+                        sampler,
+                        args.requests,
+                        mode=args.mode,
+                        concurrency=args.concurrency,
+                        rate_qps=args.rate,
+                        deadline_s=deadline_s,
+                        expected=expected,
+                    )
+        else:
+            async with service:
+                report = await run_load(
+                    InprocClient(service),
+                    sampler,
+                    args.requests,
+                    mode=args.mode,
+                    concurrency=args.concurrency,
+                    rate_qps=args.rate,
+                    deadline_s=deadline_s,
+                    expected=expected,
+                )
+        svc_stats = service.stats()
+        return report, svc_stats
+
+    for fmt_name in formats:
+        report, svc_stats = asyncio.run(drive(fmt_name))
+        reports.append({"format": fmt_name, "report": report.to_dict(), "service": svc_stats})
+        lat = report.latency_ms
+        rows.append(
+            [
+                fmt_name,
+                report.requests,
+                f"{report.qps:,.0f}",
+                lat["p50"],
+                lat["p99"],
+                report.shed,
+                svc_stats["result_cache"]["hits"],
+                svc_stats["negative_cache"]["skipped_probes"],
+                f"{report.incorrect}/{report.checked}",
+            ]
+        )
+    out = render_table(
+        ["format", "reqs", "qps", "p50 ms", "p99 ms", "shed", "rc hits", "neg skips", "bad"],
+        rows,
+        title=f"{args.mode}/{args.distribution} load, {args.ranks} ranks x "
+        f"{args.records:,} records x {args.epochs} epoch(s)",
+    )
+    if args.json_out:
+        import json
+        import pathlib
+
+        pathlib.Path(args.json_out).write_text(json.dumps(reports, indent=2) + "\n")
+        out += f"\nreports -> {args.json_out}"
+    return out
+
+
 def _cmd_advise(args) -> str:
     from .cluster.machines import MACHINES
     from .core.advisor import recommend_format
@@ -376,6 +559,10 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_metrics(args))
     elif args.command == "recover":
         print(_cmd_recover(args))
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command == "loadgen":
+        print(_cmd_loadgen(args))
     elif args.command == "advise":
         print(_cmd_advise(args))
     return 0

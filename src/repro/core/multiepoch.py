@@ -116,10 +116,10 @@ class MultiEpochStore:
         aux_tables: list[AuxTable | None] = [None] * self.nranks
         if self.fmt.name == "filterkv":
             for rank in range(self.nranks):
-                f = self.device.open(aux_table_name(epoch, rank))
-                aux_tables[rank] = aux_from_blob(
-                    unseal(f.read(0, f.size)), metric_labels={"rank": str(rank)}
-                )
+                with self.device.open(aux_table_name(epoch, rank)) as f:
+                    aux_tables[rank] = aux_from_blob(
+                        unseal(f.read(0, f.size)), metric_labels={"rank": str(rank)}
+                    )
         return QueryEngine(
             device=self.device,
             fmt=self.fmt,
@@ -182,6 +182,37 @@ class MultiEpochStore:
         if epoch not in self._engines:
             raise KeyError(f"no such epoch {epoch} (have {self.epochs})")
         return self._engines[epoch]
+
+    def cached_engine(
+        self,
+        epoch: int,
+        metrics: MetricsRegistry | None = None,
+        table_cache_entries: int | None = None,
+        parallel_probe: bool = False,
+    ) -> "CachedQueryEngine":
+        """A warm-cache engine over one committed epoch.
+
+        This is what a long-running serving tier (`repro.serve`) mounts:
+        same device/format/aux tables as `engine`, but with the bounded
+        reader cache and cache telemetry of `CachedQueryEngine`.
+        """
+        from .reader import CachedQueryEngine  # local: keep import surface small
+
+        base = self.engine(epoch)
+        kwargs = {}
+        if table_cache_entries is not None:
+            kwargs["table_cache_entries"] = table_cache_entries
+        return CachedQueryEngine(
+            device=self.device,
+            fmt=self.fmt,
+            nranks=self.nranks,
+            partitioner=base.partitioner,
+            aux_tables=base.aux_tables,
+            epoch=epoch,
+            parallel_probe=parallel_probe,
+            metrics=metrics,
+            **kwargs,
+        )
 
     def get(self, key: int, epoch: int) -> tuple[bytes | None, QueryStats]:
         """Point query at one timestep (the paper's Fig. 11 query)."""

@@ -19,6 +19,7 @@ data blocks, and value log.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..obs import MetricsRegistry, active
@@ -109,6 +110,45 @@ class QueryEngine:
         stats.latency += d.read_time
         return reader
 
+    def _release_table(self, reader: SSTableReader) -> None:
+        """Give back a reader obtained from `_open_table`.
+
+        The uncached engine opens per query, so it must close per query —
+        otherwise every lookup leaks an extent handle (audited through
+        `StorageDevice.open_handles`).  The cached engine overrides this
+        to a no-op because its cache owns the handle.
+        """
+        reader.close()
+
+    def _open_vlog(self, rank: int) -> ValueLog:
+        return ValueLog.open(self.device, rank)
+
+    def _release_vlog(self, log: ValueLog) -> None:
+        log.close()
+
+    def _charge_aux(self, owner: int, stats: QueryStats) -> None:
+        """Fetch the owner partition's auxiliary table bytes.
+
+        The reader fetches the partition's entire aux table (the paper
+        reads ~18 MB per query), then resolves candidates in memory.
+        """
+        aux_file = self.device.open(aux_table_name(self.epoch, owner))
+        try:
+            with self._charged(stats, "aux"):
+                aux_file.read(0, aux_file.size)
+        finally:
+            aux_file.close()
+
+    def close(self) -> None:
+        """Release held handles (no-op here: this engine holds none
+        between queries).  The cached subclass closes its caches."""
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- query flows ---------------------------------------------------------
 
     def get(self, key: int) -> tuple[bytes | None, QueryStats]:
@@ -142,8 +182,11 @@ class QueryEngine:
         stats = QueryStats()
         owner = self.partitioner.partition_of_one(key)
         reader = self._open_table(owner, stats)
-        with self._charged(stats, "data"):
-            value = reader.get(key)
+        try:
+            with self._charged(stats, "data"):
+                value = reader.get(key)
+        finally:
+            self._release_table(reader)
         stats.partitions_searched = 1
         stats.found = value is not None
         return value, stats
@@ -152,15 +195,21 @@ class QueryEngine:
         stats = QueryStats()
         owner = self.partitioner.partition_of_one(key)
         reader = self._open_table(owner, stats)
-        with self._charged(stats, "data"):
-            ptr_blob = reader.get(key)
+        try:
+            with self._charged(stats, "data"):
+                ptr_blob = reader.get(key)
+        finally:
+            self._release_table(reader)
         stats.partitions_searched = 1
         if ptr_blob is None:
             return None, stats
         ptr = DataPointer.unpack(ptr_blob)
-        log = ValueLog.open(self.device, ptr.rank)
-        with self._charged(stats, "vlog"):
-            value = log.read(ptr)
+        log = self._open_vlog(ptr.rank)
+        try:
+            with self._charged(stats, "vlog"):
+                value = log.read(ptr)
+        finally:
+            self._release_vlog(log)
         stats.found = True
         return value, stats
 
@@ -170,11 +219,7 @@ class QueryEngine:
         aux = self.aux_tables[owner]
         if aux is None:
             raise ValueError(f"no auxiliary table for partition {owner}")
-        # The reader fetches the partition's entire aux table (the paper
-        # reads ~18 MB per query), then resolves candidates in memory.
-        aux_file = self.device.open(aux_table_name(self.epoch, owner))
-        with self._charged(stats, "aux"):
-            aux_file.read(0, aux_file.size)
+        self._charge_aux(owner, stats)
         candidates = aux.candidate_ranks(key)
         self._m_candidates.inc(len(candidates))
         if self.parallel_probe:
@@ -183,8 +228,11 @@ class QueryEngine:
         for rank in candidates:
             stats.partitions_searched += 1
             reader = self._open_table(int(rank), stats)
-            with self._charged(stats, "data"):
-                value = reader.get(key)
+            try:
+                with self._charged(stats, "data"):
+                    value = reader.get(key)
+            finally:
+                self._release_table(reader)
             if value is not None:
                 break
         stats.found = value is not None
@@ -206,8 +254,11 @@ class QueryEngine:
             before = stats.latency
             stats.partitions_searched += 1
             reader = self._open_table(int(rank), stats)
-            with self._charged(stats, "data"):
-                hit = reader.get(key)
+            try:
+                with self._charged(stats, "data"):
+                    hit = reader.get(key)
+            finally:
+                self._release_table(reader)
             probe_latencies.append(stats.latency - before)
             if hit is not None and value is None:
                 value = hit
@@ -218,49 +269,86 @@ class QueryEngine:
 
 
 class CachedQueryEngine(QueryEngine):
-    """Query engine with a warm reader cache.
+    """Query engine with a warm, bounded reader cache.
 
     The paper's readers open each partition per query (footer + index
     loads every time); a long-running analysis session would keep tables
-    open and aux tables resident instead.  This engine caches both, so
-    only the *first* query against a partition pays the open cost — the
-    reader-caching ablation quantifies the difference.
+    open and aux tables resident instead.  This engine caches table
+    readers (bounded LRU — a multi-epoch session can't end up holding
+    every rank of every epoch open), value-log attachments, and the
+    once-per-partition aux fetch, so only the *first* query against a
+    partition pays the open cost — the reader-caching ablation quantifies
+    the difference.  Hits and misses per cache are reported as
+    ``reader.cache.hits`` / ``reader.cache.misses`` with a ``cache``
+    label (``table`` | ``aux`` | ``vlog``).
     """
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args, table_cache_entries: int = 64, **kwargs):
         super().__init__(*args, **kwargs)
-        self._table_cache: dict[int, SSTableReader] = {}
+        if table_cache_entries < 1:
+            raise ValueError(f"table_cache_entries must be >= 1, got {table_cache_entries}")
+        self.table_cache_entries = table_cache_entries
+        self._table_cache: OrderedDict[int, SSTableReader] = OrderedDict()
+        self._vlog_cache: dict[int, ValueLog] = {}
         self._aux_read: set[int] = set()
+        fmtl = {"format": self.fmt.name}
+        self._m_cache_hits = {
+            c: self.metrics.counter("reader.cache.hits", cache=c, **fmtl)
+            for c in ("table", "aux", "vlog")
+        }
+        self._m_cache_misses = {
+            c: self.metrics.counter("reader.cache.misses", cache=c, **fmtl)
+            for c in ("table", "aux", "vlog")
+        }
+        self._m_cache_evictions = self.metrics.counter(
+            "reader.cache.evictions", cache="table", **fmtl
+        )
 
     def _open_table(self, rank: int, stats: QueryStats) -> SSTableReader:
-        if rank not in self._table_cache:
-            self._table_cache[rank] = super()._open_table(rank, stats)
-        return self._table_cache[rank]
+        reader = self._table_cache.get(rank)
+        if reader is not None:
+            self._table_cache.move_to_end(rank)
+            self._m_cache_hits["table"].inc()
+            return reader
+        self._m_cache_misses["table"].inc()
+        reader = super()._open_table(rank, stats)
+        self._table_cache[rank] = reader
+        if len(self._table_cache) > self.table_cache_entries:
+            _, evicted = self._table_cache.popitem(last=False)
+            evicted.close()
+            self._m_cache_evictions.inc()
+        return reader
 
-    def _get_filterkv(self, key: int) -> tuple[bytes | None, QueryStats]:
-        stats = QueryStats()
-        owner = self.partitioner.partition_of_one(key)
-        aux = self.aux_tables[owner]
-        if aux is None:
-            raise ValueError(f"no auxiliary table for partition {owner}")
-        if owner not in self._aux_read:  # one aux fetch per partition
-            aux_file = self.device.open(aux_table_name(self.epoch, owner))
-            with self._charged(stats, "aux"):
-                aux_file.read(0, aux_file.size)
-            self._aux_read.add(owner)
-        candidates = aux.candidate_ranks(key)
-        self._m_candidates.inc(len(candidates))
-        if self.parallel_probe:
-            # Same concurrent-probe flow as the base engine (cached tables
-            # just make each probe's open cost zero after the first query).
-            return self._probe_parallel(key, candidates, stats)
-        value = None
-        for rank in candidates:
-            stats.partitions_searched += 1
-            reader = self._open_table(int(rank), stats)
-            with self._charged(stats, "data"):
-                value = reader.get(key)
-            if value is not None:
-                break
-        stats.found = value is not None
-        return value, stats
+    def _release_table(self, reader: SSTableReader) -> None:
+        pass  # the cache owns the handle; eviction or close() releases it
+
+    def _open_vlog(self, rank: int) -> ValueLog:
+        log = self._vlog_cache.get(rank)
+        if log is not None:
+            self._m_cache_hits["vlog"].inc()
+            return log
+        self._m_cache_misses["vlog"].inc()
+        log = super()._open_vlog(rank)
+        self._vlog_cache[rank] = log
+        return log
+
+    def _release_vlog(self, log: ValueLog) -> None:
+        pass  # cached per rank for the engine's lifetime
+
+    def _charge_aux(self, owner: int, stats: QueryStats) -> None:
+        if owner in self._aux_read:  # one aux fetch per partition
+            self._m_cache_hits["aux"].inc()
+            return
+        self._m_cache_misses["aux"].inc()
+        super()._charge_aux(owner, stats)
+        self._aux_read.add(owner)
+
+    def close(self) -> None:
+        """Close every cached reader/log and forget the warm state."""
+        for reader in self._table_cache.values():
+            reader.close()
+        for log in self._vlog_cache.values():
+            log.close()
+        self._table_cache.clear()
+        self._vlog_cache.clear()
+        self._aux_read.clear()

@@ -1,0 +1,40 @@
+"""`repro.serve` — the concurrent online query-serving tier.
+
+Mounts a committed `MultiEpochStore` behind an asyncio `QueryService`
+(batching, coalescing, result/negative caches, admission control), a
+sealed-frame TCP front end (`ServeServer` / `TCPClient`), an in-process
+client for tests, and a load generator (`run_load`).  See the module
+docstrings — `service` for the serving semantics, `proto` for the wire
+format, `cache` for the invalidation-by-versioning story.
+"""
+
+from .cache import LRUCache, NegativeCache
+from .loadgen import KeySampler, LoadReport, run_load
+from .proto import InprocClient, ServeServer, TCPClient
+from .service import (
+    DEADLINE_EXCEEDED,
+    ERROR,
+    NOT_FOUND,
+    OK,
+    OVERLOADED,
+    QueryService,
+    ServeResponse,
+)
+
+__all__ = [
+    "QueryService",
+    "ServeResponse",
+    "ServeServer",
+    "TCPClient",
+    "InprocClient",
+    "LRUCache",
+    "NegativeCache",
+    "KeySampler",
+    "LoadReport",
+    "run_load",
+    "OK",
+    "NOT_FOUND",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "ERROR",
+]

@@ -1,0 +1,220 @@
+"""Load generation against a serving client (TCP or in-process).
+
+Drives any client exposing ``async get(key, epoch=None, deadline_s=None)``
+with a configurable popularity distribution and loop discipline:
+
+* **Popularity** — ``zipfian`` (weight ∝ 1/rank^theta over a seeded
+  shuffle of the key universe, so the hot set is arbitrary keys, not the
+  smallest ones) or ``uniform``.  Skewed popularity is what makes the
+  serving tier's result/negative caches and request coalescing pay off.
+* **Closed loop** — ``concurrency`` workers each keep exactly one request
+  outstanding: throughput adapts to service latency (classic benchmark
+  discipline, no overload by construction).
+* **Open loop** — arrivals are a Poisson process at ``rate_qps``
+  regardless of completions: the discipline that actually exercises
+  admission control, because a slow service faces a growing queue rather
+  than a self-throttling client.
+
+Every run returns a `LoadReport` with client-observed latency quantiles,
+per-status counts, and — when the caller supplies the ground truth — a
+count of *incorrect* responses (wrong value, or a miss for a present
+key).  Shed (``overloaded``) and expired (``deadline_exceeded``) answers
+are refusals, not wrong answers; they are never counted as incorrect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .service import DEADLINE_EXCEEDED, NOT_FOUND, OK, OVERLOADED, STATUSES
+
+__all__ = ["KeySampler", "LoadReport", "run_load"]
+
+
+class KeySampler:
+    """Seeded sampler over a key universe with a popularity distribution."""
+
+    def __init__(
+        self,
+        keys: np.ndarray | list[int],
+        distribution: str = "zipfian",
+        theta: float = 1.0,
+        seed: int = 0,
+    ):
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            raise ValueError("key universe is empty")
+        if distribution not in ("zipfian", "uniform"):
+            raise ValueError(f"unknown distribution {distribution!r}")
+        self.distribution = distribution
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        # Popularity rank is assigned over a shuffle so the hot set is not
+        # correlated with key order (or with the hash partitioner).
+        self._keys = self._rng.permutation(keys)
+        if distribution == "zipfian":
+            weights = 1.0 / np.power(np.arange(1, keys.size + 1, dtype=np.float64), theta)
+            self._cdf = np.cumsum(weights) / weights.sum()
+        else:
+            self._cdf = None
+
+    def sample(self, n: int) -> np.ndarray:
+        """``n`` keys drawn with replacement by popularity."""
+        if self._cdf is None:
+            idx = self._rng.integers(0, self._keys.size, size=n)
+        else:
+            idx = np.searchsorted(self._cdf, self._rng.random(n), side="left")
+        return self._keys[idx]
+
+    def interarrival_s(self, n: int, rate_qps: float) -> np.ndarray:
+        """``n`` Poisson inter-arrival gaps for an open loop at ``rate_qps``."""
+        if rate_qps <= 0:
+            raise ValueError(f"rate_qps must be positive, got {rate_qps}")
+        return self._rng.exponential(1.0 / rate_qps, size=n)
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Client-side view of one load run (JSON-safe via `to_dict`)."""
+
+    mode: str
+    distribution: str
+    requests: int
+    wall_s: float
+    statuses: dict
+    latency_ms: dict
+    incorrect: int
+    checked: int
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def answered(self) -> int:
+        return self.statuses.get(OK, 0) + self.statuses.get(NOT_FOUND, 0)
+
+    @property
+    def shed(self) -> int:
+        return self.statuses.get(OVERLOADED, 0) + self.statuses.get(DEADLINE_EXCEEDED, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "distribution": self.distribution,
+            "requests": self.requests,
+            "wall_s": round(self.wall_s, 4),
+            "qps": round(self.qps, 1),
+            "statuses": dict(self.statuses),
+            "latency_ms": dict(self.latency_ms),
+            "incorrect": self.incorrect,
+            "checked": self.checked,
+        }
+
+    def summary(self) -> str:
+        lat = self.latency_ms
+        return (
+            f"{self.mode}/{self.distribution}: {self.requests} reqs in {self.wall_s:.2f}s "
+            f"({self.qps:,.0f} qps), p50={lat['p50']:.3f}ms p99={lat['p99']:.3f}ms, "
+            f"shed={self.shed}, incorrect={self.incorrect}/{self.checked}"
+        )
+
+
+def _report(
+    mode: str,
+    distribution: str,
+    statuses: dict,
+    latencies: list[float],
+    wall_s: float,
+    incorrect: int,
+    checked: int,
+) -> LoadReport:
+    lat = np.asarray(latencies, dtype=np.float64) * 1e3 if latencies else np.zeros(1)
+    return LoadReport(
+        mode=mode,
+        distribution=distribution,
+        requests=int(sum(statuses.values())),
+        wall_s=wall_s,
+        statuses=statuses,
+        latency_ms={
+            "mean": round(float(lat.mean()), 4),
+            "p50": round(float(np.percentile(lat, 50)), 4),
+            "p90": round(float(np.percentile(lat, 90)), 4),
+            "p99": round(float(np.percentile(lat, 99)), 4),
+            "max": round(float(lat.max()), 4),
+        },
+        incorrect=incorrect,
+        checked=checked,
+    )
+
+
+async def run_load(
+    client,
+    sampler: KeySampler,
+    total_requests: int,
+    mode: str = "closed",
+    concurrency: int = 16,
+    rate_qps: float | None = None,
+    deadline_s: float | None = None,
+    epoch: int | None = None,
+    expected: dict[int, bytes | None] | None = None,
+) -> LoadReport:
+    """Issue ``total_requests`` lookups and report what the client saw.
+
+    ``expected`` maps key -> value (or None for an intentional miss); when
+    given, every answered response is checked against it and mismatches
+    are counted in ``LoadReport.incorrect``.
+    """
+    if total_requests < 1:
+        raise ValueError(f"total_requests must be >= 1, got {total_requests}")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    keys = sampler.sample(total_requests)
+    statuses = {s: 0 for s in STATUSES}
+    latencies: list[float] = []
+    incorrect = 0
+    checked = 0
+
+    async def issue(key: int) -> None:
+        nonlocal incorrect, checked
+        t0 = time.perf_counter()
+        response = await client.get(int(key), epoch=epoch, deadline_s=deadline_s)
+        latencies.append(time.perf_counter() - t0)
+        statuses[response.status] = statuses.get(response.status, 0) + 1
+        if expected is not None and response.status in (OK, NOT_FOUND):
+            checked += 1
+            want = expected.get(int(key))
+            got = response.value if response.status == OK else None
+            if got != want:
+                incorrect += 1
+
+    start = time.perf_counter()
+    if mode == "closed":
+        cursor = iter(range(total_requests))
+
+        async def worker() -> None:
+            for i in cursor:  # workers share one iterator: no key is issued twice
+                await issue(keys[i])
+
+        await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    else:
+        if rate_qps is None:
+            raise ValueError("open-loop load needs rate_qps")
+        gaps = sampler.interarrival_s(total_requests, rate_qps)
+        loop = asyncio.get_running_loop()
+        tasks = []
+        next_at = loop.time()
+        for i in range(total_requests):
+            next_at += gaps[i]
+            delay = next_at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(loop.create_task(issue(keys[i])))
+        await asyncio.gather(*tasks)
+    wall_s = time.perf_counter() - start
+
+    return _report(mode, sampler.distribution, statuses, latencies, wall_s, incorrect, checked)

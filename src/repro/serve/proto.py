@@ -1,0 +1,303 @@
+"""Wire front end for `QueryService`: framing, server, clients.
+
+The protocol reuses the storage layer's sealed-envelope convention
+(`repro.storage.envelope`) on the wire: every message is
+
+    u32 frame length  ‖  seal(JSON payload)
+
+so a receiver can tell a torn or corrupted frame from a complete one with
+the same magic/length/checksum validation the manifest uses on disk — one
+integrity story for bytes at rest and bytes in flight.
+
+Messages are id-tagged JSON objects.  Requests::
+
+    {"id": 7, "op": "get", "key": 123, "epoch": null, "deadline_s": 0.05}
+    {"id": 8, "op": "stats"}
+    {"id": 9, "op": "ping"}
+
+Responses echo the id and carry the `ServeResponse` fields (values hex-
+encoded — JSON has no bytes).  Requests on one connection are served
+*concurrently* — each frame spawns a task, and responses are written as
+they finish, matched by id — so a single connection still benefits from
+the service's batching and coalescing.
+
+Two clients expose the same async ``get``/``stats`` surface:
+`TCPClient` speaks the framed protocol over a socket; `InprocClient`
+calls the service directly (tests and single-process load generation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import struct
+
+from ..storage.envelope import SealError, seal, unseal
+from .service import ERROR, QueryService, ServeResponse
+
+__all__ = [
+    "ServeServer",
+    "TCPClient",
+    "InprocClient",
+    "encode_frame",
+    "read_frame",
+    "MAX_FRAME_BYTES",
+]
+
+_LEN = struct.Struct("<I")
+MAX_FRAME_BYTES = 1 << 24  # 16 MiB: a point query never comes close
+
+
+class ProtocolError(ValueError):
+    """The peer sent something that is not a valid sealed frame."""
+
+
+def encode_frame(message: dict) -> bytes:
+    body = seal(json.dumps(message).encode())
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Next message on the stream, or ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as e:
+        raise ProtocolError("connection dropped mid-frame") from e
+    try:
+        return json.loads(unseal(body))
+    except (SealError, ValueError) as e:
+        raise ProtocolError(f"bad frame: {e}") from e
+
+
+def _response_fields(response: ServeResponse) -> dict:
+    return {
+        "status": response.status,
+        "key": response.key,
+        "epoch": response.epoch,
+        "value": response.value.hex() if response.value is not None else None,
+        "cached": response.cached,
+        "detail": response.detail,
+    }
+
+
+def _response_from_fields(fields: dict) -> ServeResponse:
+    value = fields.get("value")
+    return ServeResponse(
+        status=fields["status"],
+        key=fields["key"],
+        epoch=fields.get("epoch"),
+        value=bytes.fromhex(value) if value is not None else None,
+        cached=bool(fields.get("cached", False)),
+        detail=fields.get("detail", ""),
+    )
+
+
+class ServeServer:
+    """Asyncio TCP server mounting one `QueryService`."""
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port  # 0: let the OS pick; read back after start()
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "ServeServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def __aenter__(self) -> "ServeServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(message: dict) -> None:
+            async with write_lock:
+                writer.write(encode_frame(message))
+                await writer.drain()
+
+        async def run_one(request: dict) -> None:
+            rid = request.get("id")
+            try:
+                op = request.get("op")
+                if op == "get":
+                    response = await self.service.get(
+                        int(request["key"]),
+                        epoch=request.get("epoch"),
+                        deadline_s=request.get("deadline_s"),
+                    )
+                    await respond({"id": rid, **_response_fields(response)})
+                elif op == "stats":
+                    await respond({"id": rid, "stats": self.service.stats()})
+                elif op == "ping":
+                    await respond({"id": rid, "pong": True})
+                else:
+                    await respond({"id": rid, "status": ERROR, "detail": f"unknown op {op!r}"})
+            except ConnectionError:
+                pass  # client went away; nothing to tell it
+            except Exception as e:
+                try:
+                    await respond({"id": rid, "status": ERROR, "detail": repr(e)})
+                except ConnectionError:
+                    pass
+
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError:
+                    break  # framing is broken: the stream is unrecoverable
+                if request is None:
+                    break
+                task = asyncio.get_running_loop().create_task(run_one(request))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+
+class TCPClient:
+    """Framed-protocol client; safe for many concurrent ``get`` calls."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pump: asyncio.Task | None = None
+        self._waiting: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "TCPClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self._pump = asyncio.get_running_loop().create_task(self._pump_responses())
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._writer = None
+        if self._pump is not None:
+            await self._pump
+            self._pump = None
+
+    async def __aenter__(self) -> "TCPClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _pump_responses(self) -> None:
+        assert self._reader is not None
+        error: Exception = ConnectionError("connection closed")
+        try:
+            while True:
+                message = await read_frame(self._reader)
+                if message is None:
+                    break
+                future = self._waiting.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ProtocolError, ConnectionError) as e:
+            error = e
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(error)
+        self._waiting.clear()
+
+    async def _call(self, message: dict) -> dict:
+        assert self._writer is not None, "call connect() first"
+        rid = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[rid] = future
+        async with self._write_lock:
+            self._writer.write(encode_frame({"id": rid, **message}))
+            await self._writer.drain()
+        return await future
+
+    async def get(
+        self, key: int, epoch: int | None = None, deadline_s: float | None = None
+    ) -> ServeResponse:
+        fields = await self._call(
+            {"op": "get", "key": int(key), "epoch": epoch, "deadline_s": deadline_s}
+        )
+        return _response_from_fields(fields)
+
+    async def stats(self) -> dict:
+        return (await self._call({"op": "stats"}))["stats"]
+
+    async def ping(self) -> bool:
+        return bool((await self._call({"op": "ping"})).get("pong"))
+
+
+class InprocClient:
+    """`TCPClient`-shaped adapter that calls the service in process.
+
+    Lets tests and the load generator drive the exact client surface
+    without sockets; the service's batching/coalescing still applies
+    because callers share one event loop.
+    """
+
+    def __init__(self, service: QueryService):
+        self.service = service
+
+    async def connect(self) -> "InprocClient":
+        await self.service.start()
+        return self
+
+    async def close(self) -> None:
+        pass  # the service's owner closes it
+
+    async def __aenter__(self) -> "InprocClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        pass
+
+    async def get(
+        self, key: int, epoch: int | None = None, deadline_s: float | None = None
+    ) -> ServeResponse:
+        return await self.service.get(key, epoch=epoch, deadline_s=deadline_s)
+
+    async def stats(self) -> dict:
+        return self.service.stats()
+
+    async def ping(self) -> bool:
+        return True

@@ -1,0 +1,545 @@
+"""`QueryService`: the concurrent online query-serving front end.
+
+One asyncio service mounts a recovered/attached `MultiEpochStore` and
+turns the synchronous, single-caller read path into something that can
+absorb skewed traffic from many concurrent clients:
+
+* **Batching & coalescing** — concurrent lookups for the same
+  ``(epoch, key)`` share one store probe; each dispatch window drains up
+  to ``max_batch`` admitted requests and groups them per candidate rank,
+  so a partition's table is touched once per window rather than once per
+  request.
+* **Two-level read cache** — a bounded LRU of finished responses keyed by
+  ``(epoch, key)`` plus a negative cache of refuted ``(epoch, key, rank)``
+  candidates, so repeat FilterKV queries skip the aux table's false
+  candidates entirely (`repro.serve.cache`).
+* **Admission control** — a bounded in-flight request budget and
+  queue-depth watermarks with hysteresis: past the high watermark the
+  service sheds new arrivals with an explicit ``overloaded`` response
+  until the queue drains below the low watermark, instead of letting
+  latency collapse.  Per-request deadlines cancel stragglers: an expired
+  waiter gets ``deadline_exceeded``, and a queued request all of whose
+  waiters expired is dropped without touching the store.
+
+Epochs are immutable once committed, so both caches key by *resolved*
+epoch: committing a new epoch shifts what an unqualified query resolves
+to (newest wins) rather than mutating cached state — the stale entry can
+only ever be served for an explicit historical epoch, where it is the
+correct answer.  `invalidate` exists for belt-and-braces cache drops.
+
+Everything is single-event-loop: the batch executor runs synchronously
+inside the dispatcher task, so no locks guard the caches or engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.reader import QueryStats
+from ..obs import MetricsRegistry
+from .cache import LRUCache, NegativeCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.multiepoch import MultiEpochStore
+    from ..core.reader import CachedQueryEngine
+
+__all__ = [
+    "QueryService",
+    "ServeResponse",
+    "OK",
+    "NOT_FOUND",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "ERROR",
+]
+
+OK = "ok"
+NOT_FOUND = "not_found"
+OVERLOADED = "overloaded"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+ERROR = "error"
+
+STATUSES = (OK, NOT_FOUND, OVERLOADED, DEADLINE_EXCEEDED, ERROR)
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One request's outcome.  ``status`` is always meaningful: a request
+    is either answered (``ok`` / ``not_found``), explicitly refused
+    (``overloaded``), timed out (``deadline_exceeded``), or failed
+    (``error`` + ``detail``) — never silently dropped."""
+
+    status: str
+    key: int
+    epoch: int | None
+    value: bytes | None = None
+    cached: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+class _Pending:
+    """One admitted, not-yet-executed probe shared by its waiters."""
+
+    __slots__ = ("key", "epoch", "future", "live_waiters")
+
+    def __init__(self, key: int, epoch: int, future: asyncio.Future):
+        self.key = key
+        self.epoch = epoch
+        self.future = future
+        self.live_waiters = 1
+
+
+class _FilterWork:
+    """Per-request probe state while a FilterKV batch executes."""
+
+    __slots__ = ("pending", "stats", "ranks", "value", "found")
+
+    def __init__(self, pending: _Pending, stats: QueryStats, ranks: list[int]):
+        self.pending = pending
+        self.stats = stats
+        self.ranks = ranks
+        self.value: bytes | None = None
+        self.found = False
+
+
+@dataclass
+class _Shedder:
+    """Queue-depth watermarks with hysteresis.
+
+    Above ``high`` the service sheds every new arrival; shedding stays on
+    until the queue drains to ``low``, so a saturating client sees a
+    clean ``overloaded`` band instead of flapping at the boundary.
+    """
+
+    high: int
+    low: int
+    shedding: bool = field(default=False, init=False)
+
+    def __post_init__(self):
+        if self.low < 0 or self.high < 1 or self.low >= self.high:
+            raise ValueError(f"need 0 <= low < high, got low={self.low} high={self.high}")
+
+    def should_shed(self, depth: int) -> bool:
+        if self.shedding:
+            if depth <= self.low:
+                self.shedding = False
+        elif depth >= self.high:
+            self.shedding = True
+        return self.shedding
+
+
+class QueryService:
+    """Serve point queries over a `MultiEpochStore` to many asyncio tasks.
+
+    Parameters
+    ----------
+    store:
+        The mounted dataset.  New epochs committed while serving are
+        picked up on the next request (newest-epoch resolution).
+    max_batch:
+        Most requests one dispatch window executes together.
+    batch_window_s:
+        How long the dispatcher waits to fill a window after the first
+        request arrives.  0 (default) means "drain whatever is queued":
+        coalescing still happens under concurrency without adding idle
+        latency.
+    result_cache_entries / negative_cache_entries:
+        Bounds for the two read caches.
+    max_inflight:
+        Budget of admitted-but-unanswered requests (coalesced waiters
+        each count); beyond it new arrivals are shed.
+    queue_high_watermark / queue_low_watermark:
+        Shedding hysteresis on the dispatch queue depth.
+    default_deadline_s:
+        Applied to requests that do not carry their own deadline.
+    table_cache_entries:
+        Per-epoch engine reader-cache bound (see `CachedQueryEngine`).
+    metrics:
+        Registry for the ``serve.*`` (and the engines' ``reader.*``)
+        series; a private real registry is created when omitted, because
+        a serving tier's hit rates and shed counts are part of its
+        behavior, not optional debug output.
+    """
+
+    def __init__(
+        self,
+        store: "MultiEpochStore",
+        *,
+        max_batch: int = 64,
+        batch_window_s: float = 0.0,
+        result_cache_entries: int = 4096,
+        negative_cache_entries: int = 65536,
+        max_inflight: int = 1024,
+        queue_high_watermark: int = 512,
+        queue_low_watermark: int | None = None,
+        default_deadline_s: float | None = None,
+        table_cache_entries: int = 64,
+        parallel_probe: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.store = store
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.max_inflight = max_inflight
+        self.default_deadline_s = default_deadline_s
+        self.table_cache_entries = table_cache_entries
+        self.parallel_probe = parallel_probe
+        self.metrics = metrics if metrics is not None else MetricsRegistry("serve")
+        low = (
+            queue_low_watermark
+            if queue_low_watermark is not None
+            else max(0, queue_high_watermark // 2)
+        )
+        self._shedder = _Shedder(high=queue_high_watermark, low=low)
+        self._rcache = LRUCache(result_cache_entries, self.metrics, name="serve.result_cache")
+        self._negcache = NegativeCache(negative_cache_entries, self.metrics)
+        self._engines: dict[int, "CachedQueryEngine"] = {}
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._index: dict[tuple[int, int], _Pending] = {}
+        self._inflight = 0
+        self._dispatcher: asyncio.Task | None = None
+        self._closed = False
+        m = self.metrics
+        self._m_requests = {s: m.counter("serve.requests", status=s) for s in STATUSES}
+        self._m_latency = {s: m.histogram("serve.latency_seconds", status=s) for s in STATUSES}
+        self._m_sheds = m.counter("serve.sheds")
+        self._m_coalesced = m.counter("serve.coalesced")
+        self._m_batches = m.counter("serve.batches")
+        self._m_occupancy = m.histogram("serve.batch_occupancy")
+        self._m_deadline_dropped = m.counter("serve.deadline_dropped")
+        self._m_inflight_gauge = m.gauge("serve.inflight")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "QueryService":
+        self._ensure_dispatcher()
+        return self
+
+    async def close(self) -> None:
+        """Drain already-admitted requests, then stop the dispatcher."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._dispatcher is not None:
+            self._queue.put_nowait(None)  # sentinel: FIFO, so admitted work drains first
+            await self._dispatcher
+            self._dispatcher = None
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None or self._dispatcher.done():
+            self._dispatcher = asyncio.get_running_loop().create_task(self._dispatch_loop())
+
+    # -- cache/version management -----------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop both read caches and mounted engines.
+
+        Not needed for correctness on epoch commits (resolution is
+        versioned by epoch — see the module docstring); exists for
+        defense in depth and for tests.
+        """
+        self._rcache.clear()
+        self._negcache.clear()
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+
+    def _engine(self, epoch: int) -> "CachedQueryEngine":
+        engine = self._engines.get(epoch)
+        if engine is None:
+            engine = self.store.cached_engine(
+                epoch,
+                metrics=self.metrics,
+                table_cache_entries=self.table_cache_entries,
+                parallel_probe=self.parallel_probe,
+            )
+            self._engines[epoch] = engine
+        return engine
+
+    def _resolve_epoch(self, epoch: int | None) -> int | None:
+        """Which committed epoch a request addresses (newest when
+        unqualified).  ``None`` means the store has no epochs yet."""
+        epochs = self.store.epochs
+        if not epochs:
+            return None
+        if epoch is None:
+            return epochs[-1]
+        epoch = int(epoch)
+        if epoch not in epochs:
+            raise LookupError(f"no such epoch {epoch} (have {epochs})")
+        return epoch
+
+    # -- the request path --------------------------------------------------
+
+    async def get(
+        self, key: int, epoch: int | None = None, deadline_s: float | None = None
+    ) -> ServeResponse:
+        """Point lookup.  Always returns a `ServeResponse`; never raises
+        for data-plane conditions (bad epoch, overload, deadline)."""
+        t0 = time.perf_counter()
+        key = int(key)
+        if self._closed:
+            return self._done(t0, ServeResponse(ERROR, key, epoch, detail="service closed"))
+        try:
+            resolved = self._resolve_epoch(epoch)
+        except LookupError as e:
+            return self._done(t0, ServeResponse(ERROR, key, epoch, detail=str(e)))
+        if resolved is None:
+            return self._done(t0, ServeResponse(NOT_FOUND, key, epoch))
+
+        hit, entry = self._rcache.lookup((resolved, key))
+        if hit:
+            status, value = entry
+            return self._done(
+                t0, ServeResponse(status, key, resolved, value=value, cached=True)
+            )
+
+        # Admission control: explicit refusal beats queueing collapse.
+        if self._inflight >= self.max_inflight or self._shedder.should_shed(
+            self._queue.qsize()
+        ):
+            self._m_sheds.inc()
+            return self._done(t0, ServeResponse(OVERLOADED, key, resolved))
+
+        self._ensure_dispatcher()
+        ck = (resolved, key)
+        pending = self._index.get(ck)
+        if pending is not None:
+            pending.live_waiters += 1
+            self._m_coalesced.inc()
+        else:
+            pending = _Pending(key, resolved, asyncio.get_running_loop().create_future())
+            self._index[ck] = pending
+            self._queue.put_nowait(pending)
+        self._inflight += 1
+        self._m_inflight_gauge.inc()
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        try:
+            if deadline_s is None:
+                response = await asyncio.shield(pending.future)
+            else:
+                response = await asyncio.wait_for(
+                    asyncio.shield(pending.future), timeout=deadline_s
+                )
+        except asyncio.TimeoutError:
+            pending.live_waiters -= 1
+            return self._done(t0, ServeResponse(DEADLINE_EXCEEDED, key, resolved))
+        finally:
+            self._inflight -= 1
+            self._m_inflight_gauge.dec()
+        pending.live_waiters -= 1
+        return self._done(t0, response)
+
+    def _done(self, t0: float, response: ServeResponse) -> ServeResponse:
+        self._m_requests[response.status].inc()
+        self._m_latency[response.status].observe(time.perf_counter() - t0)
+        return response
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                break
+            batch = [first]
+            stop = False
+            if self.batch_window_s > 0:
+                window_end = loop.time() + self.batch_window_s
+                while len(batch) < self.max_batch:
+                    timeout = window_end - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(), timeout)
+                    except asyncio.TimeoutError:
+                        break
+                    if nxt is None:
+                        stop = True
+                        break
+                    batch.append(nxt)
+            else:
+                while len(batch) < self.max_batch:
+                    try:
+                        nxt = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if nxt is None:
+                        stop = True
+                        break
+                    batch.append(nxt)
+            self._run_batch(batch)
+            if stop:
+                break
+            # One cooperative yield per window: waiters see their results
+            # (and their deadline timers fire) before the next window.
+            await asyncio.sleep(0)
+        # Anything still queued after the sentinel was admitted while
+        # closing; fail it explicitly rather than hanging its waiters.
+        while not self._queue.empty():
+            pending = self._queue.get_nowait()
+            if pending is not None:
+                self._finish(
+                    pending,
+                    ServeResponse(ERROR, pending.key, pending.epoch, detail="service closed"),
+                )
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        """Execute one dispatch window against the store (synchronous)."""
+        self._m_batches.inc()
+        self._m_occupancy.observe(len(batch))
+        live: list[_Pending] = []
+        for pending in batch:
+            self._index.pop((pending.epoch, pending.key), None)
+            if pending.live_waiters <= 0:
+                # Every waiter gave up already: drop the probe entirely.
+                self._m_deadline_dropped.inc()
+                pending.future.set_result(
+                    ServeResponse(DEADLINE_EXCEEDED, pending.key, pending.epoch)
+                )
+            else:
+                live.append(pending)
+        by_epoch: dict[int, list[_Pending]] = {}
+        for pending in live:
+            by_epoch.setdefault(pending.epoch, []).append(pending)
+        for epoch, items in by_epoch.items():
+            try:
+                engine = self._engine(epoch)
+                if self.store.fmt.name == "filterkv":
+                    self._probe_filterkv(engine, epoch, items)
+                else:
+                    self._probe_direct(engine, epoch, items)
+            except Exception as e:  # fail this group loudly, keep serving
+                for pending in items:
+                    if not pending.future.done():
+                        self._finish(
+                            pending,
+                            ServeResponse(ERROR, pending.key, epoch, detail=repr(e)),
+                        )
+
+    def _finish(self, pending: _Pending, response: ServeResponse) -> None:
+        if response.status in (OK, NOT_FOUND):
+            self._rcache.insert((pending.epoch, pending.key), (response.status, response.value))
+        if not pending.future.done():
+            pending.future.set_result(response)
+
+    # -- probe strategies --------------------------------------------------
+
+    def _probe_direct(self, engine, epoch: int, items: list[_Pending]) -> None:
+        """base / dataptr: one owning partition per key.
+
+        Keys are probed in owner-rank order so each partition's (cached)
+        reader is touched once per window.
+        """
+        items = sorted(items, key=lambda p: engine.partitioner.partition_of_one(p.key))
+        for pending in items:
+            value, _ = engine.get(pending.key)
+            status = OK if value is not None else NOT_FOUND
+            self._finish(pending, ServeResponse(status, pending.key, epoch, value=value))
+
+    def _probe_filterkv(self, engine, epoch: int, items: list[_Pending]) -> None:
+        """filterkv: aux candidates minus refuted ranks, probed per rank.
+
+        Ranks ascend, and a key stops probing at its first hit, so the
+        answers are identical to the sequential engine's candidate walk —
+        the grouping only changes *when* each table is touched, and the
+        negative cache only removes probes that are known to miss.
+        """
+        work: list[_FilterWork] = []
+        for pending in items:
+            stats = QueryStats()
+            owner = engine.partitioner.partition_of_one(pending.key)
+            aux = engine.aux_tables[owner]
+            if aux is None:
+                raise ValueError(f"no auxiliary table for partition {owner}")
+            engine._charge_aux(owner, stats)
+            candidates = [int(r) for r in aux.candidate_ranks(pending.key)]
+            engine._m_candidates.inc(len(candidates))
+            kept = [
+                r for r in candidates if not self._negcache.refuted(epoch, pending.key, r)
+            ]
+            work.append(_FilterWork(pending, stats, kept))
+
+        by_rank: dict[int, list[_FilterWork]] = {}
+        for w in work:
+            for rank in w.ranks:
+                by_rank.setdefault(rank, []).append(w)
+        for rank in sorted(by_rank):
+            group = [w for w in by_rank[rank] if not w.found]
+            if not group:
+                continue
+            reader = engine._open_table(rank, group[0].stats)
+            try:
+                for w in group:
+                    w.stats.partitions_searched += 1
+                    with engine._charged(w.stats, "data"):
+                        hit = reader.get(w.pending.key)
+                    if hit is None:
+                        self._negcache.add(epoch, w.pending.key, rank)
+                    else:
+                        w.value = hit
+                        w.found = True
+            finally:
+                engine._release_table(reader)
+
+        for w in work:
+            w.stats.found = w.found
+            engine._observe(w.stats)
+            status = OK if w.found else NOT_FOUND
+            self._finish(
+                w.pending, ServeResponse(status, w.pending.key, epoch, value=w.value)
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time snapshot of the serving counters (JSON-safe)."""
+        m = self.metrics
+        ok_lat = m.histogram("serve.latency_seconds", status=OK)
+        return {
+            "epochs": list(self.store.epochs),
+            "format": self.store.fmt.name,
+            "requests": {s: int(m.total("serve.requests", status=s)) for s in STATUSES},
+            "latency_ms": {
+                "p50": round(ok_lat.quantile(0.5) * 1e3, 3),
+                "p99": round(ok_lat.quantile(0.99) * 1e3, 3),
+                "count": ok_lat.count,
+            },
+            "result_cache": {
+                "hits": int(m.total("serve.result_cache.hits")),
+                "misses": int(m.total("serve.result_cache.misses")),
+                "entries": len(self._rcache),
+            },
+            "negative_cache": {
+                "skipped_probes": int(m.total("serve.negative_cache.skipped_probes")),
+                "inserts": int(m.total("serve.negative_cache.inserts")),
+                "entries": len(self._negcache),
+            },
+            "sheds": int(m.total("serve.sheds")),
+            "coalesced": int(m.total("serve.coalesced")),
+            "batches": int(m.total("serve.batches")),
+            "mean_batch_occupancy": round(m.histogram("serve.batch_occupancy").mean, 3),
+            "inflight": self._inflight,
+        }

@@ -115,12 +115,16 @@ class StorageDevice:
         self._m_bytes_read = self.metrics.counter("storage.bytes_read", device=dev)
         self._m_bytes_written = self.metrics.counter("storage.bytes_written", device=dev)
         self._files: dict[str, io.BytesIO] = {}
+        # Live StorageFile handles (opens minus closes): leak audits assert
+        # that a read path leaves this unchanged after N queries.
+        self.open_handles = 0
 
     def open(self, name: str, create: bool = False) -> "StorageFile":
         if name not in self._files:
             if not create:
                 raise FileNotFoundError(f"no such extent: {name!r}")
             self._files[name] = io.BytesIO()
+        self.open_handles += 1
         return StorageFile(self, name)
 
     def exists(self, name: str) -> bool:
@@ -238,7 +242,9 @@ class StorageFile:
         return self.device.file_size(self.name)
 
     def close(self) -> None:
-        self._closed = True
+        if not self._closed:
+            self._closed = True
+            self.device.open_handles -= 1
 
     def _check_open(self) -> None:
         if self._closed:

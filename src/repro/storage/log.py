@@ -134,6 +134,10 @@ class ValueLog:
             body += self._file.read(pointer.offset + len(first), length - len(body))
         return body
 
+    def close(self) -> None:
+        """Release the log's extent handle (idempotent; reader-side attach)."""
+        self._file.close()
+
     def __len__(self) -> int:
         return self._nvalues
 

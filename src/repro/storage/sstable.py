@@ -378,6 +378,22 @@ class SSTableReader:
         if filter_len:
             self._bloom = BloomFilter.from_bytes(filter_blob, bloom_nhashes)
 
+    def close(self) -> None:
+        """Release the underlying extent handle (idempotent).
+
+        Readers that a query path opens per lookup must be closed (or
+        cached for reuse) — `StorageDevice.open_handles` audits exactly
+        this.  Footer/index/filter state stays resident, but further
+        `get`/`scan` calls will fail on the closed handle.
+        """
+        self._file.close()
+
+    def __enter__(self) -> "SSTableReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _checked(self, blob: bytes, what: str, name: str) -> bytes:
         """Verify and strip a section's trailing checksum."""
         if len(blob) < CHECKSUM_BYTES + 4:

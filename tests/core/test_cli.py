@@ -101,3 +101,40 @@ def test_metrics_command_jsonl_file(tmp_path, capsys):
     assert str(out) in capsys.readouterr().out
     lines = out.read_text().splitlines()
     assert lines and all(json.loads(ln)["labels"]["format"] == "base" for ln in lines)
+
+
+def test_loadgen_command(capsys):
+    main(
+        [
+            "loadgen", "--format", "filterkv", "--ranks", "4", "--records", "200",
+            "--requests", "300", "--concurrency", "8",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "filterkv" in out and "qps" in out and "neg skips" in out
+    assert "0/300" in out  # zero incorrect responses
+
+
+def test_loadgen_command_json_out(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "load.json"
+    main(
+        [
+            "loadgen", "--format", "base", "--ranks", "4", "--records", "150",
+            "--requests", "200", "--distribution", "uniform", "--json-out", str(path),
+        ]
+    )
+    assert str(path) in capsys.readouterr().out
+    doc = json.loads(path.read_text())
+    assert doc[0]["format"] == "base"
+    assert doc[0]["report"]["requests"] == 200
+    assert doc[0]["report"]["incorrect"] == 0
+    assert doc[0]["service"]["requests"]["ok"] == 200
+
+
+def test_serve_parser_accepts_options():
+    args = build_parser().parse_args(
+        ["serve", "--ranks", "4", "--records", "100", "--port", "9999"]
+    )
+    assert args.command == "serve" and args.port == 9999 and args.fmt == "filterkv"

@@ -1,0 +1,125 @@
+"""Extent-handle leak audits for the read path.
+
+`StorageDevice.open_handles` counts live `StorageFile` handles (opens
+minus closes).  The uncached `QueryEngine` opens tables, value logs, and
+aux extents per query, so after any number of queries the device must be
+back at its pre-query handle count — historically the uncached path
+leaked one reader per query.  The cached engine intentionally holds
+handles while warm, but must return every one of them on `close()`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
+from repro.core.kv import random_kv_batch
+from repro.core.multiepoch import MultiEpochStore
+
+ALL_FORMATS = [FMT_BASE, FMT_DATAPTR, FMT_FILTERKV]
+
+
+def _dataset(fmt, nranks=4, records=600):
+    cluster = SimCluster(
+        nranks=nranks, fmt=fmt, value_bytes=24, records_hint=nranks * records, seed=13
+    )
+    batches = [
+        random_kv_batch(records, 24, np.random.default_rng(90 + r)) for r in range(nranks)
+    ]
+    for rank, b in enumerate(batches):
+        cluster.put(rank, b)
+    cluster.finish_epoch()
+    return cluster, batches
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS, ids=lambda f: f.name)
+def test_uncached_engine_leaks_no_handles(fmt):
+    cluster, batches = _dataset(fmt)
+    engine = cluster.query_engine()
+    baseline = engine.device.open_handles
+    for i in range(100):
+        b = batches[i % len(batches)]
+        value, _ = engine.get(int(b.keys[i % len(b)]))
+        assert value is not None
+    engine.get(5)  # misses must release handles too
+    assert engine.device.open_handles == baseline, "read path leaked extent handles"
+
+
+def test_parallel_probe_leaks_no_handles():
+    cluster, batches = _dataset(FMT_FILTERKV)
+    cold = cluster.query_engine()
+    from repro.core.reader import QueryEngine
+
+    engine = QueryEngine(
+        device=cold.device,
+        fmt=cold.fmt,
+        nranks=cold.nranks,
+        partitioner=cold.partitioner,
+        aux_tables=cold.aux_tables,
+        epoch=cold.epoch,
+        parallel_probe=True,
+    )
+    baseline = engine.device.open_handles
+    for i in range(50):
+        engine.get(int(batches[0].keys[i]))
+    assert engine.device.open_handles == baseline
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS, ids=lambda f: f.name)
+def test_cached_engine_returns_all_handles_on_close(fmt):
+    cluster, batches = _dataset(fmt)
+    cold = cluster.query_engine()
+    from repro.core.reader import CachedQueryEngine
+
+    baseline = cold.device.open_handles
+    with CachedQueryEngine(
+        device=cold.device,
+        fmt=cold.fmt,
+        nranks=cold.nranks,
+        partitioner=cold.partitioner,
+        aux_tables=cold.aux_tables,
+        epoch=cold.epoch,
+    ) as engine:
+        for i in range(60):
+            b = batches[i % len(batches)]
+            engine.get(int(b.keys[i % len(b)]))
+        assert engine.device.open_handles > baseline  # warm cache holds handles
+    assert cold.device.open_handles == baseline, "close() must release every cached handle"
+
+
+def test_table_cache_eviction_closes_handles():
+    cluster, batches = _dataset(FMT_BASE, nranks=6)
+    cold = cluster.query_engine()
+    from repro.core.reader import CachedQueryEngine
+
+    baseline = cold.device.open_handles
+    engine = CachedQueryEngine(
+        device=cold.device,
+        fmt=cold.fmt,
+        nranks=cold.nranks,
+        partitioner=cold.partitioner,
+        aux_tables=cold.aux_tables,
+        epoch=cold.epoch,
+        table_cache_entries=2,
+    )
+    for b in batches:  # touch all 6 partitions through a 2-entry cache
+        for i in range(3):
+            engine.get(int(b.keys[i]))
+    assert engine.device.open_handles <= baseline + 2  # bounded, evictions closed
+    assert engine.metrics is not None  # engine without registry still audits
+    engine.close()
+    assert cold.device.open_handles == baseline
+
+
+def test_multiepoch_store_queries_leak_nothing():
+    store = MultiEpochStore(nranks=4, fmt=FMT_FILTERKV, value_bytes=24, seed=3)
+    rng = np.random.default_rng(3)
+    batches = [random_kv_batch(400, 24, rng) for _ in range(4)]
+    store.write_epoch(batches)
+    attached = MultiEpochStore.attach(store.device)
+    baseline = attached.device.open_handles
+    for b in batches:
+        for i in range(0, 400, 37):
+            value, _ = attached.get(int(b.keys[i]), 0)
+            assert value == b.value_of(i)
+    assert attached.device.open_handles == baseline

@@ -109,20 +109,31 @@ def _crash_trial(seed, fmt, metrics):
 
 @pytest.mark.parametrize(
     "fmt,nseeds",
-    [(FMT_FILTERKV, 100), (FMT_BASE, 50), (FMT_DATAPTR, 50)],
-    ids=["filterkv-100", "base-50", "dataptr-50"],
+    [
+        # Quick params run in every tier-1 invocation; the full sweeps are
+        # marked slow and run in CI's faults job (-m "slow or not slow").
+        (FMT_FILTERKV, 12),
+        (FMT_BASE, 6),
+        (FMT_DATAPTR, 6),
+        pytest.param(FMT_FILTERKV, 100, marks=pytest.mark.slow),
+        pytest.param(FMT_BASE, 50, marks=pytest.mark.slow),
+        pytest.param(FMT_DATAPTR, 50, marks=pytest.mark.slow),
+    ],
+    ids=["filterkv-12", "base-6", "dataptr-6", "filterkv-100", "base-50", "dataptr-50"],
 )
 def test_crash_recovery_trials(fmt, nseeds):
     metrics = MetricsRegistry()
     committed_counts = [
         _crash_trial(SEED_OFFSET + seed, fmt, metrics) for seed in range(nseeds)
     ]
-    # The seeded crash points must actually exercise both outcomes: some
-    # trials crash mid-run (fewer than EPOCHS commit), some complete.
-    assert any(c < EPOCHS for c in committed_counts), "no trial ever crashed"
-    assert metrics.counter("faults.crashes").value > 0
-    assert metrics.counter("faults.injected", kind="crash").value > 0
     assert metrics.counter("recovery.runs").value == nseeds
+    # Only ~5% of seeds place the crash inside the run, so both-outcomes
+    # coverage is a property of the full sweeps; the quick params just
+    # smoke the recovery contract on whatever their window contains.
+    if nseeds >= 50:
+        assert any(c < EPOCHS for c in committed_counts), "no trial ever crashed"
+        assert metrics.counter("faults.crashes").value > 0
+        assert metrics.counter("faults.injected", kind="crash").value > 0
 
 
 def test_corruption_is_detected_never_silent():

@@ -1,0 +1,58 @@
+"""Shared fixtures for the serving-tier tests.
+
+There is no async test plugin in the environment, so every test drives
+its coroutine with ``asyncio.run`` via the `run` helper; stores are built
+once per (format, shape) and memoized module-wide because ingestion
+dominates test wall time.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
+from repro.core.kv import random_kv_batch
+from repro.core.multiepoch import MultiEpochStore
+
+ALL_FORMATS = [FMT_BASE, FMT_DATAPTR, FMT_FILTERKV]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def build_store(fmt, nranks=8, records=200, epochs=1, value_bytes=24, seed=7):
+    """A committed store plus per-epoch ground truth.
+
+    Returns ``(store, truth)`` where ``truth[epoch]`` maps every key the
+    epoch holds to its value bytes.  Keys are uniformly random, so the
+    writer rank is uncorrelated with the hash owner — the regime where
+    FilterKV actually produces false candidates.
+    """
+    store = MultiEpochStore(nranks=nranks, fmt=fmt, value_bytes=value_bytes, seed=seed)
+    rng = np.random.default_rng(seed)
+    truth = {}
+    for e in range(epochs):
+        batches = [random_kv_batch(records, value_bytes, rng) for _ in range(nranks)]
+        store.write_epoch(batches)
+        truth[e] = {
+            int(k): b.value_of(i) for b in batches for i, k in enumerate(b.keys)
+        }
+    return store, truth
+
+
+_STORES: dict = {}
+
+
+def shared_store(fmt, **kwargs):
+    """Memoized `build_store` — callers must treat the store as read-only."""
+    key = (fmt.name, tuple(sorted(kwargs.items())))
+    if key not in _STORES:
+        _STORES[key] = build_store(fmt, **kwargs)
+    return _STORES[key]
+
+
+@pytest.fixture(params=ALL_FORMATS, ids=lambda f: f.name)
+def fmt(request):
+    return request.param

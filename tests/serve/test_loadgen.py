@@ -1,0 +1,139 @@
+"""Load generator: sampling distributions, loop disciplines, reporting."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core.formats import FMT_FILTERKV
+from repro.serve import InprocClient, KeySampler, QueryService, run_load
+
+from .conftest import run, shared_store
+
+
+def test_sampler_is_deterministic_and_closed_over_universe():
+    keys = np.arange(100, 200)
+    a = KeySampler(keys, "zipfian", seed=5).sample(500)
+    b = KeySampler(keys, "zipfian", seed=5).sample(500)
+    assert np.array_equal(a, b)
+    assert set(a) <= set(range(100, 200))
+
+
+def test_zipfian_is_skewed_uniform_is_not():
+    keys = np.arange(1000)
+    zipf = collections.Counter(KeySampler(keys, "zipfian", theta=1.0, seed=1).sample(5000))
+    unif = collections.Counter(KeySampler(keys, "uniform", seed=1).sample(5000))
+    # Hot-key mass: the top key dominates under Zipf, not under uniform.
+    assert zipf.most_common(1)[0][1] > 250
+    assert unif.most_common(1)[0][1] < 50
+    # Zipf at theta=1 still touches a long tail.
+    assert len(zipf) > 100
+
+
+def test_zipfian_hot_set_is_shuffled():
+    # The hottest key must not systematically be the smallest key.
+    tops = set()
+    for seed in range(5):
+        counts = collections.Counter(
+            KeySampler(np.arange(1000), "zipfian", seed=seed).sample(2000)
+        )
+        tops.add(counts.most_common(1)[0][0])
+    assert tops != {0}
+
+
+def test_sampler_validation():
+    with pytest.raises(ValueError):
+        KeySampler(np.array([]), "zipfian")
+    with pytest.raises(ValueError):
+        KeySampler(np.arange(4), "pareto")
+    with pytest.raises(ValueError):
+        KeySampler(np.arange(4)).interarrival_s(10, 0)
+
+
+def test_interarrival_matches_rate():
+    gaps = KeySampler(np.arange(8), seed=2).interarrival_s(20_000, rate_qps=1000.0)
+    assert gaps.shape == (20_000,)
+    assert abs(gaps.mean() - 1e-3) < 1e-4  # Poisson at 1000 qps
+
+
+def test_closed_loop_reports_correctness(fmt):
+    store, truth = shared_store(fmt)
+    expected = truth[0]
+    sampler = KeySampler(np.fromiter(expected, dtype=np.int64), "zipfian", seed=4)
+
+    async def main():
+        async with QueryService(store) as svc:
+            report = await run_load(
+                InprocClient(svc),
+                sampler,
+                400,
+                mode="closed",
+                concurrency=8,
+                expected=expected,
+            )
+            assert report.requests == 400
+            assert report.checked == 400 and report.incorrect == 0
+            assert report.answered == 400 and report.shed == 0
+            assert report.qps > 0
+            d = report.to_dict()
+            assert d["latency_ms"]["p99"] >= d["latency_ms"]["p50"]
+            assert "qps" in d and "statuses" in d
+            assert "closed/zipfian" in report.summary()
+
+    run(main())
+
+
+def test_open_loop_poisson_arrivals():
+    store, truth = shared_store(FMT_FILTERKV)
+    expected = truth[0]
+    sampler = KeySampler(np.fromiter(expected, dtype=np.int64), "uniform", seed=4)
+
+    async def main():
+        async with QueryService(store) as svc:
+            report = await run_load(
+                InprocClient(svc),
+                sampler,
+                200,
+                mode="open",
+                rate_qps=20_000.0,
+                expected=expected,
+            )
+            assert report.requests == 200
+            assert report.incorrect == 0
+            assert report.mode == "open"
+
+    run(main())
+
+
+def test_correctness_checker_actually_checks():
+    """Feed the checker a wrong ground truth: it must flag mismatches —
+    otherwise 'zero incorrect' claims elsewhere are vacuous."""
+    store, truth = shared_store(FMT_FILTERKV)
+    wrong = {k: b"\x00" * 24 for k in truth[0]}
+    sampler = KeySampler(np.fromiter(wrong, dtype=np.int64), "uniform", seed=4)
+
+    async def main():
+        async with QueryService(store) as svc:
+            report = await run_load(
+                InprocClient(svc), sampler, 100, concurrency=4, expected=wrong
+            )
+            assert report.incorrect == report.checked == 100
+
+    run(main())
+
+
+def test_run_load_validation():
+    store, _ = shared_store(FMT_FILTERKV)
+    sampler = KeySampler(np.arange(8), seed=0)
+
+    async def main():
+        async with QueryService(store) as svc:
+            client = InprocClient(svc)
+            with pytest.raises(ValueError):
+                await run_load(client, sampler, 0)
+            with pytest.raises(ValueError):
+                await run_load(client, sampler, 10, mode="laps")
+            with pytest.raises(ValueError):
+                await run_load(client, sampler, 10, mode="open")  # no rate
+
+    run(main())

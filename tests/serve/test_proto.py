@@ -1,0 +1,171 @@
+"""Wire protocol: sealed frames, TCP server/clients, in-proc adapter."""
+
+import asyncio
+
+import pytest
+
+from repro.core.formats import FMT_FILTERKV
+from repro.serve import ERROR, NOT_FOUND, OK, InprocClient, QueryService, ServeServer, TCPClient
+from repro.serve.proto import MAX_FRAME_BYTES, ProtocolError, encode_frame, read_frame
+
+from .conftest import run, shared_store
+
+
+def _fed_reader(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_frame_round_trip():
+    message = {"id": 3, "op": "get", "key": 17, "epoch": None}
+
+    async def main():
+        frame = encode_frame(message)
+        reader = _fed_reader(frame + encode_frame({"id": 4}))
+        assert await read_frame(reader) == message
+        assert await read_frame(reader) == {"id": 4}
+        assert await read_frame(reader) is None  # clean EOF
+
+    run(main())
+
+
+def test_corrupted_frame_is_rejected():
+    async def main():
+        frame = bytearray(encode_frame({"id": 1, "op": "ping"}))
+        frame[-1] ^= 0x40  # flip a bit inside the seal checksum
+        with pytest.raises(ProtocolError):
+            await read_frame(_fed_reader(bytes(frame)))
+
+    run(main())
+
+
+def test_truncated_frame_is_rejected():
+    async def main():
+        frame = encode_frame({"id": 1, "op": "ping"})
+        with pytest.raises(ProtocolError):
+            await read_frame(_fed_reader(frame[:-3]))
+
+    run(main())
+
+
+def test_oversized_frame_is_rejected():
+    async def main():
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            await read_frame(_fed_reader(header + b"x" * 16))
+
+    run(main())
+
+
+def test_tcp_round_trip_all_formats(fmt):
+    store, truth = shared_store(fmt)
+    expected = truth[0]
+    keys = list(expected)[:30]
+
+    async def main():
+        service = QueryService(store)
+        async with ServeServer(service) as server:
+            async with TCPClient(server.host, server.port) as client:
+                assert await client.ping()
+                responses = await asyncio.gather(*(client.get(k) for k in keys))
+                for key, r in zip(keys, responses):
+                    assert r.status == OK and r.value == expected[key]
+                miss = await client.get(1)
+                assert miss.status == NOT_FOUND and miss.value is None
+                stats = await client.stats()
+                assert stats["requests"][OK] >= len(keys)
+
+    run(main())
+
+
+def test_concurrent_requests_on_one_connection_coalesce():
+    store, truth = shared_store(FMT_FILTERKV)
+    key = next(iter(truth[0]))
+
+    async def main():
+        service = QueryService(store)
+        async with ServeServer(service) as server:
+            async with TCPClient(server.host, server.port) as client:
+                responses = await asyncio.gather(*(client.get(key) for _ in range(8)))
+                assert all(r.status == OK for r in responses)
+                # One connection, eight in-flight frames, one store probe.
+                assert service.metrics.total("reader.queries") == 1
+                assert service.metrics.total("serve.coalesced") == 7
+
+    run(main())
+
+
+def test_many_clients_one_server():
+    store, truth = shared_store(FMT_FILTERKV)
+    expected = truth[0]
+    keys = list(expected)[:24]
+
+    async def main():
+        service = QueryService(store)
+        async with ServeServer(service) as server:
+            clients = [
+                await TCPClient(server.host, server.port).connect() for _ in range(4)
+            ]
+            try:
+                chunks = [keys[i::4] for i in range(4)]
+                results = await asyncio.gather(
+                    *(
+                        asyncio.gather(*(c.get(k) for k in chunk))
+                        for c, chunk in zip(clients, chunks)
+                    )
+                )
+                for chunk, responses in zip(chunks, results):
+                    for key, r in zip(chunk, responses):
+                        assert r.status == OK and r.value == expected[key]
+            finally:
+                for c in clients:
+                    await c.close()
+
+    run(main())
+
+
+def test_unknown_op_yields_error_frame():
+    store, _ = shared_store(FMT_FILTERKV)
+
+    async def main():
+        service = QueryService(store)
+        async with ServeServer(service) as server:
+            async with TCPClient(server.host, server.port) as client:
+                reply = await client._call({"op": "bogus"})
+                assert reply["status"] == ERROR and "bogus" in reply["detail"]
+                # The connection survives a bad op.
+                assert await client.ping()
+
+    run(main())
+
+
+def test_malformed_request_yields_error_not_crash():
+    store, _ = shared_store(FMT_FILTERKV)
+
+    async def main():
+        service = QueryService(store)
+        async with ServeServer(service) as server:
+            async with TCPClient(server.host, server.port) as client:
+                reply = await client._call({"op": "get"})  # no key
+                assert reply["status"] == ERROR
+                assert await client.ping()
+
+    run(main())
+
+
+def test_inproc_client_matches_tcp_surface():
+    store, truth = shared_store(FMT_FILTERKV)
+    key = next(iter(truth[0]))
+
+    async def main():
+        service = QueryService(store)
+        async with InprocClient(service) as client:
+            assert await client.ping()
+            r = await client.get(key)
+            assert r.status == OK and r.value == truth[0][key]
+            assert (await client.stats())["requests"][OK] == 1
+        await service.close()
+
+    run(main())
