@@ -152,6 +152,35 @@ class AuxTable(ABC):
             self._m_false.inc(extra)
         return counts
 
+    def candidates_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate sets for a whole key array — the bulk read path's form.
+
+        Returns ``(counts, flat)`` where ``flat`` concatenates each key's
+        sorted distinct candidate ranks and ``counts[i]`` is how many belong
+        to key *i* (``flat[counts[:i].sum() : counts[:i+1].sum()]``).  Probe
+        accounting is identical to ``keys.size`` `candidate_ranks` calls, so
+        counter invariants hold whichever surface a reader uses.
+        """
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        counts, flat = self._candidates_many(keys)
+        self._m_probes.inc(keys.size)
+        self._m_candidates.inc(int(counts.sum()))
+        extra = int(np.maximum(counts - 1, 0).sum())
+        if extra:
+            self._m_false.inc(extra)
+        return counts, flat
+
+    def _candidates_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Backend hook for `candidates_many`; the default walks per key."""
+        parts = [self._candidate_ranks(int(k)) for k in keys]
+        counts = np.asarray([len(p) for p in parts], dtype=np.int64)
+        flat = (
+            np.concatenate(parts).astype(np.int64)
+            if parts
+            else np.zeros(0, dtype=np.int64)
+        )
+        return counts, flat
+
     def _candidate_counts(self, keys: np.ndarray) -> np.ndarray:
         return np.asarray([len(self._candidate_ranks(int(k))) for k in keys], dtype=np.int64)
 
@@ -244,6 +273,18 @@ class ExactAuxTable(AuxTable):
         # duplicated keys are rare in the paper's workloads, so hi-lo ≈ 1.
         return np.maximum(hi - lo, 0).astype(np.int64)
 
+    def _candidates_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        skeys, ranks = self._ensure_sorted()
+        lo = np.searchsorted(skeys, keys, side="left")
+        hi = np.searchsorted(skeys, keys, side="right")
+        span = (hi - lo).astype(np.int64)
+        if (span <= 1).all():  # no duplicated keys: one rank slice suffices
+            return span, ranks[lo[span == 1]].astype(np.int64)
+        parts = [np.unique(ranks[l:h]).astype(np.int64) for l, h in zip(lo, hi)]
+        counts = np.asarray([len(p) for p in parts], dtype=np.int64)
+        flat = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        return counts, flat
+
     def to_bytes(self) -> bytes:
         ranks = (
             np.concatenate(self._rank_chunks) if self._rank_chunks else np.zeros(0, np.uint32)
@@ -288,11 +329,32 @@ class BloomAuxTable(AuxTable):
         self._filter.add_many(hash_pair(keys, ranks))
         self._nkeys += keys.size
 
+    def _hits_matrix(self, keys: np.ndarray, rank_lo: int, rank_hi: int) -> np.ndarray:
+        """Membership of every ``key‖rank`` digest for ranks in
+        ``[rank_lo, rank_hi)`` — one vectorized pass, shape
+        ``(len(keys), rank_hi - rank_lo)``."""
+        ranks = np.arange(rank_lo, rank_hi, dtype=np.uint64)
+        digests = hash_pair(np.repeat(keys, ranks.size), np.tile(ranks, keys.size))
+        return self._filter.contains_many(digests).reshape(keys.size, ranks.size)
+
     def _candidate_ranks(self, key: int) -> np.ndarray:
-        ranks = np.arange(self.nparts, dtype=np.uint64)
-        keys = np.full(self.nparts, key, dtype=np.uint64)
-        hits = self._filter.contains_many(hash_pair(keys, ranks))
-        return np.nonzero(hits)[0].astype(np.int64)
+        hits = self._hits_matrix(np.asarray([key], dtype=np.uint64), 0, self.nparts)
+        return np.nonzero(hits[0])[0].astype(np.int64)
+
+    def _candidates_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All N ``key‖rank`` digests per batch tested in one vectorized
+        membership pass (chunked over keys to bound the digest matrix)."""
+        counts = np.zeros(keys.size, dtype=np.int64)
+        flats: list[np.ndarray] = []
+        chunk = max(1, (1 << 22) // max(1, self.nparts))
+        for start in range(0, keys.size, chunk):
+            sub = keys[start : start + chunk]
+            hits = self._hits_matrix(sub, 0, self.nparts)
+            rows, ranks = np.nonzero(hits)  # row-major: ranks ascend per key
+            counts[start : start + sub.size] = np.bincount(rows, minlength=sub.size)
+            flats.append(ranks.astype(np.int64))
+        flat = np.concatenate(flats) if flats else np.zeros(0, dtype=np.int64)
+        return counts, flat
 
     def _candidate_counts(
         self, keys: np.ndarray, exhaustive_limit: int = 1 << 16, sample_ranks: int = 4096
@@ -307,14 +369,11 @@ class BloomAuxTable(AuxTable):
         """
         if self.nparts <= exhaustive_limit:
             counts = np.zeros(keys.size, dtype=np.int64)
-            chunk = max(1, (1 << 22) // max(1, keys.size))
-            for start in range(0, self.nparts, chunk):
-                ranks = np.arange(start, min(self.nparts, start + chunk), dtype=np.uint64)
-                digests = hash_pair(
-                    np.repeat(keys, ranks.size), np.tile(ranks, keys.size)
-                ).reshape(keys.size, ranks.size)
-                counts += self._filter.contains_many(digests.ravel()).reshape(
-                    keys.size, ranks.size
+            chunk = max(1, (1 << 22) // max(1, self.nparts))
+            for start in range(0, keys.size, chunk):
+                sub = keys[start : start + chunk]
+                counts[start : start + sub.size] = self._hits_matrix(
+                    sub, 0, self.nparts
                 ).sum(axis=1)
             return counts
         rng = np.random.default_rng(0xA137)
@@ -368,6 +427,11 @@ class CuckooAuxTable(AuxTable):
 
     def _candidate_counts(self, keys: np.ndarray) -> np.ndarray:
         return self._table.candidate_counts(keys)
+
+    def _candidates_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fingerprints and buckets for the whole key array resolve with one
+        `lookup_many` sweep per chained table."""
+        return self._table.candidates_many(keys)
 
     def record_structure_metrics(self) -> None:
         super().record_structure_metrics()

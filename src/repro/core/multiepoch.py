@@ -218,6 +218,12 @@ class MultiEpochStore:
         """Point query at one timestep (the paper's Fig. 11 query)."""
         return self.engine(epoch).get(key)
 
+    def get_many(
+        self, keys, epoch: int
+    ) -> tuple[list[bytes | None], list[QueryStats]]:
+        """Bulk point queries at one timestep (block-coalesced read path)."""
+        return self.engine(epoch).get_many(keys)
+
     def trajectory(self, key: int) -> list[tuple[int, bytes | None, QueryStats]]:
         """The key's value at every epoch — a particle's trajectory."""
         return [(e, *self.get(key, e)) for e in self.epochs]

@@ -479,13 +479,18 @@ class ChainedCuckooTable:
         parts = [t.candidate_values(key) for t in self.tables]
         return np.unique(np.concatenate(parts)) if parts else np.zeros(0, dtype=np.uint32)
 
-    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized count of *distinct* candidate values per key.
+    def candidates_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized candidate sets for a whole key array.
 
-        This is the paper's query-amplification metric (Fig. 7a): how many
-        data partitions a reader must consult for each key.
+        Returns ``(counts, flat)``: ``flat`` concatenates each key's sorted
+        distinct candidate values and ``counts[i]`` says how many belong to
+        key *i* — the flattened form the bulk read path schedules from.
+        One `lookup_many` per chained table resolves fingerprints and
+        buckets for every key at once; no per-key Python work.
         """
         keys = np.asarray(keys, dtype=np.uint64).ravel()
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
         all_vals = []
         all_match = []
         for t in self.tables:
@@ -494,14 +499,26 @@ class ChainedCuckooTable:
             all_match.append(match)
         vals = np.concatenate(all_vals, axis=1).astype(np.int64)
         match = np.concatenate(all_match, axis=1)
-        # Distinct count per row: push non-matches to a sentinel, sort rows,
-        # count unique non-sentinel entries.
+        # Distinct values per row: push non-matches to a sentinel, sort each
+        # row, keep the first of every run of equal non-sentinel entries.
         sentinel = np.int64(-1)
         masked = np.where(match, vals, sentinel)
         masked.sort(axis=1)
-        distinct = (masked[:, 1:] != masked[:, :-1]) & (masked[:, 1:] != sentinel)
-        first_real = masked[:, 0] != sentinel
-        return distinct.sum(axis=1) + first_real.astype(np.int64)
+        keep = masked != sentinel
+        keep[:, 1:] &= masked[:, 1:] != masked[:, :-1]
+        rows, cols = np.nonzero(keep)  # row-major: ascending value per row
+        return (
+            np.bincount(rows, minlength=keys.size).astype(np.int64),
+            masked[rows, cols],
+        )
+
+    def candidate_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized count of *distinct* candidate values per key.
+
+        This is the paper's query-amplification metric (Fig. 7a): how many
+        data partitions a reader must consult for each key.
+        """
+        return self.candidates_many(keys)[0]
 
     def contains(self, key: int) -> bool:
         return any(t.contains(key) for t in self.tables)

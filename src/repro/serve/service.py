@@ -38,6 +38,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..core.reader import QueryStats
 from ..obs import MetricsRegistry
 from .cache import LRUCache, NegativeCache
@@ -450,37 +452,45 @@ class QueryService:
     def _probe_direct(self, engine, epoch: int, items: list[_Pending]) -> None:
         """base / dataptr: one owning partition per key.
 
-        Keys are probed in owner-rank order so each partition's (cached)
-        reader is touched once per window.
+        The whole window rides the engine's bulk read path: one table
+        open per owner partition, keys coalesced per data block.
         """
-        items = sorted(items, key=lambda p: engine.partitioner.partition_of_one(p.key))
-        for pending in items:
-            value, _ = engine.get(pending.key)
+        keys = np.fromiter((p.key for p in items), dtype=np.uint64, count=len(items))
+        values, _ = engine.get_many(keys)
+        for pending, value in zip(items, values):
             status = OK if value is not None else NOT_FOUND
             self._finish(pending, ServeResponse(status, pending.key, epoch, value=value))
 
     def _probe_filterkv(self, engine, epoch: int, items: list[_Pending]) -> None:
         """filterkv: aux candidates minus refuted ranks, probed per rank.
 
-        Ranks ascend, and a key stops probing at its first hit, so the
-        answers are identical to the sequential engine's candidate walk —
-        the grouping only changes *when* each table is touched, and the
-        negative cache only removes probes that are known to miss.
+        Candidates for the window resolve in one vectorized aux pass per
+        owner partition; ranks then ascend, each rank's survivors probed
+        with one block-coalesced ``get_many``, and a key stops probing at
+        its first hit — so the answers are identical to the sequential
+        engine's candidate walk.  The grouping only changes *when* each
+        table is touched, and the negative cache only removes probes that
+        are known to miss.  Physical I/O shared by a group is charged to
+        the group's first request (aggregates stay exact).
         """
-        work: list[_FilterWork] = []
-        for pending in items:
-            stats = QueryStats()
-            owner = engine.partitioner.partition_of_one(pending.key)
+        keys = np.fromiter((p.key for p in items), dtype=np.uint64, count=len(items))
+        owners = engine.partitioner.partition_of(keys)
+        work = [_FilterWork(p, QueryStats(), []) for p in items]
+        for owner, pos in engine._groups(owners):
             aux = engine.aux_tables[owner]
             if aux is None:
                 raise ValueError(f"no auxiliary table for partition {owner}")
-            engine._charge_aux(owner, stats)
-            candidates = [int(r) for r in aux.candidate_ranks(pending.key)]
-            engine._m_candidates.inc(len(candidates))
-            kept = [
-                r for r in candidates if not self._negcache.refuted(epoch, pending.key, r)
-            ]
-            work.append(_FilterWork(pending, stats, kept))
+            engine._charge_aux(owner, work[int(pos[0])].stats)
+            counts, flat = aux.candidates_many(keys[pos])
+            engine._m_candidates.inc(int(counts.sum()))
+            splits = np.cumsum(counts)[:-1]
+            for p, cand in zip(pos.tolist(), np.split(flat, splits)):
+                w = work[p]
+                w.ranks = [
+                    int(r)
+                    for r in cand
+                    if not self._negcache.refuted(epoch, w.pending.key, int(r))
+                ]
 
         by_rank: dict[int, list[_FilterWork]] = {}
         for w in work:
@@ -490,19 +500,26 @@ class QueryService:
             group = [w for w in by_rank[rank] if not w.found]
             if not group:
                 continue
-            reader = engine._open_table(rank, group[0].stats)
+            lead = group[0].stats
+            reader = engine._open_table(rank, lead)
             try:
-                for w in group:
-                    w.stats.partitions_searched += 1
-                    with engine._charged(w.stats, "data"):
-                        hit = reader.get(w.pending.key)
-                    if hit is None:
-                        self._negcache.add(epoch, w.pending.key, rank)
-                    else:
-                        w.value = hit
-                        w.found = True
+                with engine._charged(lead, "data"):
+                    vals, _ = reader.get_many(
+                        np.fromiter(
+                            (w.pending.key for w in group),
+                            dtype=np.uint64,
+                            count=len(group),
+                        )
+                    )
             finally:
                 engine._release_table(reader)
+            for w, hit in zip(group, vals):
+                w.stats.partitions_searched += 1
+                if hit is None:
+                    self._negcache.add(epoch, w.pending.key, rank)
+                else:
+                    w.value = hit
+                    w.found = True
 
         for w in work:
             w.stats.found = w.found

@@ -134,6 +134,20 @@ class ValueLog:
             body += self._file.read(pointer.offset + len(first), length - len(body))
         return body
 
+    def read_many(self, pointers: list[DataPointer], size_hint: int = 4096) -> list[bytes]:
+        """Read a batch of pointers, issuing reads in ascending offset order.
+
+        Returns values aligned with ``pointers``.  Each value still costs
+        one read (two for values larger than ``size_hint``), but a batch
+        sweeps the log monotonically instead of seeking back and forth —
+        the access pattern a real device rewards.
+        """
+        order = sorted(range(len(pointers)), key=lambda i: pointers[i].offset)
+        out: list[bytes] = [b""] * len(pointers)
+        for i in order:
+            out[i] = self.read(pointers[i], size_hint)
+        return out
+
     def close(self) -> None:
         """Release the log's extent handle (idempotent; reader-side attach)."""
         self._file.close()

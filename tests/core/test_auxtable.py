@@ -154,3 +154,58 @@ def test_bloom_requires_capacity():
 
 def test_bytes_per_key_empty_table():
     assert ExactAuxTable(4).bytes_per_key == 0.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_candidates_many_matches_scalar(backend):
+    """Every backend exposes the same bulk surface, and it agrees with the
+    per-key walk — including on keys the table never saw."""
+    n = 400 if backend == "quotient" else 2000
+    keys, ranks = _workload(n=n, nparts=16, seed=4)
+    t = make_aux_table(backend, nparts=16, capacity_hint=n)
+    t.insert_many(keys, ranks)
+    absent = np.random.default_rng(5).integers(0, 2**63, size=40, dtype=np.uint64)
+    probe = np.concatenate([keys[:160], absent])
+    counts, flat = t.candidates_many(probe)
+    assert counts.sum() == flat.size
+    off = 0
+    for i, k in enumerate(probe):
+        got = flat[off : off + counts[i]]
+        off += counts[i]
+        want = np.asarray(t.candidate_ranks(int(k)), dtype=np.int64)
+        assert np.array_equal(np.asarray(got, dtype=np.int64), want), f"key {k}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_candidates_many_empty_batch(backend):
+    t = make_aux_table(backend, nparts=8, capacity_hint=16)
+    t.insert_many(*_workload(n=16, nparts=8, seed=6))
+    counts, flat = t.candidates_many(np.zeros(0, dtype=np.uint64))
+    assert counts.size == 0 and flat.size == 0
+
+
+def test_candidates_many_probe_accounting_matches_scalar():
+    """Bulk and scalar surfaces feed the same aux.* counters."""
+    from repro.obs import MetricsRegistry
+
+    keys, ranks = _workload(n=1500, nparts=16, seed=7)
+    m_s, m_b = MetricsRegistry(), MetricsRegistry()
+    ts = make_aux_table("cuckoo", nparts=16, capacity_hint=1500, metrics=m_s)
+    tb = make_aux_table("cuckoo", nparts=16, capacity_hint=1500, metrics=m_b)
+    ts.insert_many(keys, ranks)
+    tb.insert_many(keys, ranks)
+    probe = keys[:300]
+    for k in probe:
+        ts.candidate_ranks(int(k))
+    tb.candidates_many(probe)
+    for name in ("aux.probes", "aux.candidates", "aux.false_candidates"):
+        assert m_b.total(name) == m_s.total(name), name
+
+
+def test_exact_candidates_many_with_duplicate_keys():
+    """A key inserted from several ranks must report all of them."""
+    t = ExactAuxTable(nparts=8)
+    t.insert_many(np.asarray([5, 5, 9], dtype=np.uint64), np.asarray([3, 6, 1], dtype=np.uint64))
+    counts, flat = t.candidates_many(np.asarray([5, 9, 1234], dtype=np.uint64))
+    assert counts.tolist() == [2, 1, 0]
+    assert flat.tolist() == [3, 6, 1]

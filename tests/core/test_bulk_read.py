@@ -1,0 +1,192 @@
+"""Bulk-vs-scalar equivalence for the vectorized read path.
+
+`QueryEngine.get_many` must be *value- and probe-equivalent* to the
+scalar loop ``[engine.get(k) for k in keys]``:
+
+* byte-identical values and identical per-key ``found`` /
+  ``partitions_searched``;
+* identical aggregate probe counters (``aux.probes``, ``aux.candidates``,
+  ``reader.queries`` / ``hits`` / ``partitions_probed``);
+* aggregate device reads/bytes **at most** the scalar loop's — the
+  reduction from block coalescing is the optimization under test, so
+  equality is not required (or wanted) there.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
+from repro.core.kv import random_kv_batch
+from repro.core.reader import CachedQueryEngine, QueryEngine
+from repro.obs import MetricsRegistry
+
+FORMATS = [FMT_BASE, FMT_DATAPTR, FMT_FILTERKV]
+NRANKS = 6
+RECORDS = 900
+
+
+@pytest.fixture(scope="module", params=FORMATS, ids=lambda f: f.name)
+def dataset(request):
+    fmt = request.param
+    cluster = SimCluster(
+        nranks=NRANKS,
+        fmt=fmt,
+        value_bytes=24,
+        records_hint=NRANKS * RECORDS,
+        block_size=1 << 12,
+        seed=11,
+    )
+    batches = [
+        random_kv_batch(RECORDS, 24, np.random.default_rng(70 + r))
+        for r in range(NRANKS)
+    ]
+    for rank, b in enumerate(batches):
+        cluster.put(rank, b)
+    cluster.finish_epoch()
+    stored = np.concatenate([b.keys for b in batches])
+    return cluster, stored
+
+
+def _engine(cluster, cached, metrics):
+    cold = cluster.query_engine()
+    cls = CachedQueryEngine if cached else QueryEngine
+    return cls(
+        device=cold.device,
+        fmt=cold.fmt,
+        nranks=cold.nranks,
+        partitioner=cold.partitioner,
+        aux_tables=cold.aux_tables,
+        epoch=cold.epoch,
+        metrics=metrics,
+    )
+
+
+def _query_mix(stored, rng, n=400, absent_frac=0.15, dup_frac=0.1):
+    present = rng.choice(stored, size=n, replace=False)
+    absent = rng.integers(1 << 48, 1 << 49, size=int(n * absent_frac), dtype=np.uint64)
+    dups = rng.choice(present, size=int(n * dup_frac), replace=True)
+    q = np.concatenate([present, absent, dups])
+    rng.shuffle(q)
+    return q
+
+
+PROBE_COUNTERS = (
+    "reader.queries",
+    "reader.hits",
+    "reader.partitions_probed",
+    "reader.candidates",
+    "aux.probes",
+    "aux.candidates",
+    "aux.false_candidates",
+)
+
+
+def _assert_equivalent(cluster, keys, cached):
+    m_s, m_b = MetricsRegistry(), MetricsRegistry()
+    scalar, bulk = _engine(cluster, cached, m_s), _engine(cluster, cached, m_b)
+    dev = cluster.query_engine().device
+
+    s_vals, s_stats = [], []
+    before = dev.counters.snapshot()
+    for k in keys:
+        v, st = scalar.get(int(k))
+        s_vals.append(v)
+        s_stats.append(st)
+    s_io = dev.counters.delta(before)
+    scalar.close()
+
+    before = dev.counters.snapshot()
+    b_vals, b_stats = bulk.get_many(keys)
+    b_io = dev.counters.delta(before)
+    bulk.close()
+
+    assert b_vals == s_vals
+    assert [s.found for s in b_stats] == [s.found for s in s_stats]
+    assert [s.partitions_searched for s in b_stats] == [
+        s.partitions_searched for s in s_stats
+    ]
+    for name in PROBE_COUNTERS:
+        assert m_b.total(name) == m_s.total(name), name
+    # Per-key stats attribute shared I/O to group leads: aggregates stay
+    # exact, matching what the device actually saw.
+    assert sum(s.reads for s in b_stats) == b_io.reads
+    assert sum(s.bytes_read for s in b_stats) == b_io.bytes_read
+    if len(keys):
+        assert b_io.reads <= s_io.reads
+        assert b_io.bytes_read <= s_io.bytes_read
+    return s_io, b_io
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["cold", "cached"])
+def test_bulk_matches_scalar(dataset, cached):
+    cluster, stored = dataset
+    keys = _query_mix(stored, np.random.default_rng(3))
+    _assert_equivalent(cluster, keys, cached)
+
+
+def test_bulk_coalescing_actually_reduces_io(dataset):
+    cluster, stored = dataset
+    keys = _query_mix(stored, np.random.default_rng(5))
+    s_io, b_io = _assert_equivalent(cluster, keys, cached=True)
+    assert b_io.reads < s_io.reads  # the point of the batch path
+
+
+def test_empty_and_singleton_batches(dataset):
+    cluster, stored = dataset
+    engine = _engine(cluster, cached=True, metrics=MetricsRegistry())
+    values, stats = engine.get_many(np.zeros(0, dtype=np.uint64))
+    assert values == [] and stats == []
+    one = np.asarray([stored[0]], dtype=np.uint64)
+    v_bulk, st_bulk = engine.get_many(one)
+    v_scal, st_scal = engine.get(int(stored[0]))
+    assert v_bulk == [v_scal]
+    assert st_bulk[0].found and st_scal.found
+    engine.close()
+
+
+def test_duplicate_keys_each_fully_answered(dataset):
+    cluster, stored = dataset
+    engine = _engine(cluster, cached=True, metrics=MetricsRegistry())
+    k = stored[7]
+    keys = np.asarray([k, k, k, k], dtype=np.uint64)
+    values, stats = engine.get_many(keys)
+    assert values[0] is not None
+    assert values == [values[0]] * 4
+    assert all(s.found for s in stats)
+    engine.close()
+
+
+def test_all_absent_batch(dataset):
+    cluster, _ = dataset
+    engine = _engine(cluster, cached=True, metrics=MetricsRegistry())
+    keys = np.arange(1 << 50, (1 << 50) + 32, dtype=np.uint64)
+    values, stats = engine.get_many(keys)
+    assert values == [None] * 32
+    assert not any(s.found for s in stats)
+    engine.close()
+
+
+def test_uncached_bulk_releases_handles(dataset):
+    cluster, stored = dataset
+    dev = cluster.query_engine().device
+    engine = _engine(cluster, cached=False, metrics=MetricsRegistry())
+    before = dev.open_handles
+    engine.get_many(stored[:64])
+    assert dev.open_handles == before  # no leaked tables or vlogs
+    engine.close()
+
+
+def test_batch_telemetry_recorded(dataset):
+    cluster, stored = dataset
+    metrics = MetricsRegistry()
+    engine = _engine(cluster, cached=True, metrics=metrics)
+    engine.get_many(stored[:128])
+    fmt = cluster.query_engine().fmt.name
+    assert metrics.total("reader.batch_keys", format=fmt) == 128
+    blocks = metrics.histogram("reader.batch_blocks_decoded", format=fmt)
+    ratio = metrics.histogram("reader.batch_coalescing_ratio", format=fmt)
+    assert blocks.count == 1
+    assert ratio.count == 1
+    assert ratio.quantile(0.5) >= 1.0  # >= one key resolved per decoded block
+    engine.close()

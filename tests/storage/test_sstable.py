@@ -152,3 +152,93 @@ def test_large_values():
     big = bytes(np.random.default_rng(2).integers(0, 256, 50_000, dtype=np.uint8))
     build(dev, "t", [(1, big)], block_size=1024)
     assert SSTableReader(dev, "t").get(1) == big
+
+
+class TestGetMany:
+    def _probe(self, r, keys):
+        vals, blocks = r.get_many(np.asarray(keys, dtype=np.uint64))
+        assert vals == [r.get(int(k)) for k in keys]
+        return vals, blocks
+
+    def test_fixed_width_matches_scalar(self):
+        dev = StorageDevice()
+        rng = np.random.default_rng(30)
+        keys = rng.permutation(500).astype(np.uint64) * 3
+        build(dev, "t", [(int(k), int(k).to_bytes(8, "little")) for k in keys],
+              block_size=128)
+        r = SSTableReader(dev, "t")
+        probe = np.concatenate([keys[:200], np.asarray([1, 4, 10_000], dtype=np.uint64)])
+        self._probe(r, probe)
+
+    def test_variable_width_matches_scalar(self):
+        dev = StorageDevice()
+        items = [(k, b"x" * (1 + k % 37)) for k in range(300)]
+        build(dev, "t", items, block_size=256, vectorized=False)
+        r = SSTableReader(dev, "t")
+        self._probe(r, list(range(0, 320, 3)))
+
+    def test_duplicate_keys_return_first_inserted(self):
+        dev = StorageDevice()
+        w = SSTableWriter(dev, "t", block_size=64)
+        for i in range(40):
+            w.add(7, f"a{i}".encode())  # duplicates straddle block boundaries
+        w.add(9, b"nine")
+        w.finish()
+        r = SSTableReader(dev, "t")
+        vals, _ = r.get_many(np.asarray([7, 9, 8], dtype=np.uint64))
+        assert vals == [b"a0", b"nine", None]
+        assert r.get(7) == b"a0"
+
+    def test_block_coalescing_single_read_per_block(self):
+        dev = StorageDevice()
+        keys = np.arange(256, dtype=np.uint64)
+        build(dev, "t", [(int(k), bytes(8)) for k in keys], block_size=1 << 20,
+              bloom_bits_per_key=0.0)
+        r = SSTableReader(dev, "t", block_cache_blocks=0)
+        before = dev.counters.snapshot()
+        vals, blocks = r.get_many(keys)  # all keys live in one block
+        d = dev.counters.delta(before)
+        assert all(v is not None for v in vals)
+        assert blocks == 1
+        assert d.reads == 1
+
+    def test_empty_batch_and_empty_table(self):
+        dev = StorageDevice()
+        build(dev, "t", [])
+        r = SSTableReader(dev, "t")
+        assert r.get_many(np.zeros(0, dtype=np.uint64)) == ([], 0)
+        assert r.get_many(np.asarray([3], dtype=np.uint64)) == ([None], 0)
+
+
+class TestBlockCache:
+    def test_repeat_gets_hit_cache(self):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsRegistry()
+        dev = StorageDevice(metrics=m)
+        build(dev, "t", [(k, bytes([k % 251])) for k in range(64)], block_size=1 << 20)
+        r = SSTableReader(dev, "t")
+        before = dev.counters.snapshot()
+        for k in (1, 2, 3, 4):
+            r.get(k)
+        assert dev.counters.delta(before).reads == 1  # one block fetch, 3 hits
+        assert m.total("sstable.block_cache.hits") == 3
+        assert m.total("sstable.block_cache.misses") == 1
+
+    def test_cache_disabled(self):
+        dev = StorageDevice()
+        build(dev, "t", [(k, bytes(4)) for k in range(64)], block_size=1 << 20)
+        r = SSTableReader(dev, "t", block_cache_blocks=0)
+        before = dev.counters.snapshot()
+        for k in (1, 2):
+            r.get(k)
+        assert dev.counters.delta(before).reads == 2
+
+    def test_eviction_bounds_cache(self):
+        dev = StorageDevice()
+        build(dev, "t", [(k, bytes(32)) for k in range(200)], block_size=64)
+        r = SSTableReader(dev, "t", block_cache_blocks=2)
+        for k in range(0, 200, 5):
+            r.get(k)
+        assert len(r._block_cache) <= 2
+        assert len(r._parsed_cache) <= 2
