@@ -33,9 +33,13 @@ Correctness gates, asserted on the *same* runs that produce the timings:
 every persisted SSTable, value log, and run extent byte-identical between
 bulk and scalar, equal aux key counts, and the wire-format invariants
 (filterkv ships 8 B/record, dataptr 16 B/record).
+
+``REPRO_INGEST_SMOKE=1`` shrinks the dataset (and relaxes the absolute
+speedup gates) for CI.
 """
 
 import gc
+import os
 import time
 
 import numpy as np
@@ -50,6 +54,15 @@ from repro.storage.memtable import MemTable
 NRANKS = 64
 VALUE_BYTES = 56
 SEED = 11
+
+# ``REPRO_INGEST_SMOKE=1`` shrinks the dataset for CI (and relaxes the
+# absolute speedup gates — at smoke scale fixed overheads eat into the
+# bulk path's margin; the full-scale gates still apply locally).
+SMOKE = os.environ.get("REPRO_INGEST_SMOKE", "0") == "1"
+PROVISIONED_RECORDS = 6_000 if SMOKE else 32_000
+SATURATED_RECORDS = 1_500 if SMOKE else 4_000
+PROVISIONED_GATE = 3.0 if SMOKE else 5.0
+SATURATED_GATE = 1.2 if SMOKE else 1.5
 
 
 def _run(fmt, records_per_rank, bulk, hint_mult=1.0, spill=None):
@@ -130,8 +143,8 @@ def test_bench_ingest(report, benchmark):
     # regime also bounds writer memory (the paper's §V-A buffering), so
     # the timed path covers memtable spills and the flattening merge.
     for regime, recs, hint_mult, spill in (
-        ("provisioned", 32_000, 2.0, 262_144),
-        ("saturated", 4_000, 1.0, None),
+        ("provisioned", PROVISIONED_RECORDS, 2.0, 262_144),
+        ("saturated", SATURATED_RECORDS, 1.0, None),
     ):
         _run(FMT_FILTERKV, 1_000, bulk=True, hint_mult=hint_mult)  # warmup
         bulk_run = min(
@@ -196,7 +209,8 @@ def test_bench_ingest(report, benchmark):
     text, data = table_artifact(
         ["config", "mode", "records", "seconds", "records/s", "speedup"],
         rows,
-        title=f"Ingest throughput — bulk vs scalar pipeline, {NRANKS} ranks",
+        title=f"Ingest throughput — bulk vs scalar pipeline, {NRANKS} ranks"
+        f"{' [smoke]' if SMOKE else ''}",
     )
     data["rows_detailed"] = data_rows
     report(text, name="ingest", data=data)
@@ -204,8 +218,8 @@ def test_bench_ingest(report, benchmark):
     # The vectorized pipeline must beat the pre-PR per-record reference by
     # a wide margin where the aux structure isn't the bottleneck, and must
     # never lose even at the cuckoo chain's design load.
-    assert speedups["provisioned"] >= 5.0, speedups
-    assert speedups["saturated"] >= 1.5, speedups
+    assert speedups["provisioned"] >= PROVISIONED_GATE, speedups
+    assert speedups["saturated"] >= SATURATED_GATE, speedups
 
     # Representative kernel: one bulk memtable fill at envelope scale.
     keys = np.arange(16_000, dtype=np.uint64)

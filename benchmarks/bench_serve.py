@@ -52,6 +52,13 @@ RECORDS_PER_RANK = 40 if SMOKE else 150
 SERVED_REQUESTS = 2_000 if SMOKE else 8_000
 NAIVE_REQUESTS = 200 if SMOKE else 600
 OVERLOAD_REQUESTS = 400 if SMOKE else 1_500
+# Gate on CPU throughput, not wall qps: wall-clock jitters ±10-20 % run
+# to run under asyncio, but added tracer work shows up directly in CPU
+# time.  CPU time itself still wobbles ±2-3 % (GC timing), so the gate
+# sits where it cleanly separates noise from real unconditional tracing
+# work on the hot path (the unguarded span plumbing this gate exists to
+# keep out cost 7-15 %).
+TRACE_OVERHEAD_GATE = 0.90 if SMOKE else 0.95
 SEED = 17
 THETA = 1.0
 
@@ -136,6 +143,53 @@ def _negcache_effect(store, keys):
     return asyncio.run(main())
 
 
+def _traced(store, expected, keys, sample_rate):
+    """The served arm with request tracing at ``sample_rate``.
+
+    Same store, sampler seed, warmup, and cache sizing as `_served`, so
+    the only variable is the tracer (``sample_rate=None`` means the
+    service default, i.e. tracing fully off) — this is the overhead
+    measurement behind the "tracing off is free" gate and the 1 %/100 %
+    rows reported for EXPERIMENTS.md.  Returns ``(load, cpu_s)`` where
+    ``cpu_s`` is process CPU time over the measured (post-warmup) run:
+    the gate compares requests per CPU second, which isolates the
+    tracer's added *work* from wall-clock scheduler noise.
+    """
+    from repro.obs import TraceCollector
+
+    warm_sampler = KeySampler(keys, "zipfian", theta=THETA, seed=SEED)
+    sampler = KeySampler(keys, "zipfian", theta=THETA, seed=SEED)
+    tracer = (
+        None if sample_rate is None else TraceCollector(sample_rate=sample_rate, seed=SEED)
+    )
+
+    async def main():
+        svc = QueryService(
+            store,
+            max_inflight=4096,
+            queue_high_watermark=4096,
+            result_cache_entries=min(2048, len(keys) // 2),
+            tracer=tracer,
+        )
+        async with svc:
+            client = InprocClient(svc)
+            await run_load(
+                client, warm_sampler, SERVED_REQUESTS // 2, mode="closed", concurrency=64
+            )
+            cpu0 = time.process_time()
+            load = await run_load(
+                client,
+                sampler,
+                SERVED_REQUESTS,
+                mode="closed",
+                concurrency=64,
+                expected=expected,
+            )
+            return load, time.process_time() - cpu0
+
+    return asyncio.run(main())
+
+
 def _overloaded(store, expected, keys):
     """Open-loop arrivals into deliberately tight admission limits."""
     sampler = KeySampler(keys, "zipfian", theta=THETA, seed=SEED + 1)
@@ -176,16 +230,20 @@ def test_bench_serve(report, benchmark):
         load, stats = _served(store, expected, keys)
         assert load.incorrect == 0 and load.checked == SERVED_REQUESTS
         ratios[fmt.name] = load.qps / naive
-        for arm, qps, p50, p99 in (
-            ("naive", naive, "-", "-"),
-            ("served", load.qps, load.latency_ms["p50"], load.latency_ms["p99"]),
+        for arm, qps, lat in (
+            ("naive", naive, None),
+            ("served", load.qps, load.latency_ms),
         ):
+            p50, p95, p99 = (
+                (lat["p50"], lat["p95"], lat["p99"]) if lat else ("-", "-", "-")
+            )
             rows.append(
                 [
                     fmt.name,
                     arm,
                     f"{qps:,.0f}",
                     p50,
+                    p95,
                     p99,
                     round(ratios[fmt.name], 1) if arm == "served" else "",
                 ]
@@ -195,8 +253,9 @@ def test_bench_serve(report, benchmark):
                     "format": fmt.name,
                     "arm": arm,
                     "qps": round(qps, 1),
-                    "p50_ms": None if p50 == "-" else p50,
-                    "p99_ms": None if p99 == "-" else p99,
+                    "p50_ms": None if lat is None else p50,
+                    "p95_ms": None if lat is None else p95,
+                    "p99_ms": None if lat is None else p99,
                     "speedup": round(ratios[fmt.name], 2) if arm == "served" else None,
                     "result_cache_hits": stats["result_cache"]["hits"]
                     if arm == "served"
@@ -228,6 +287,7 @@ def test_bench_serve(report, benchmark):
             "-",
             "-",
             "-",
+            "-",
             f"amp {probed_cold / nkeys:.2f} -> {probed_warm / nkeys:.2f}",
         ]
     )
@@ -245,6 +305,7 @@ def test_bench_serve(report, benchmark):
             "arm": "overloaded",
             "qps": round(over.qps, 1),
             "p50_ms": over.latency_ms["p50"],
+            "p95_ms": over.latency_ms["p95"],
             "p99_ms": over.latency_ms["p99"],
             "shed": over.shed,
             "answered": over.answered,
@@ -257,13 +318,68 @@ def test_bench_serve(report, benchmark):
             "overloaded",
             f"{over.qps:,.0f}",
             over.latency_ms["p50"],
+            over.latency_ms["p95"],
             over.latency_ms["p99"],
             f"shed {over.shed}/{OVERLOAD_REQUESTS}",
         ]
     )
 
+    # Gate 4: tracing disabled costs nothing measurable.  The gate
+    # compares requests per *CPU second* — tracer overhead is added work,
+    # and CPU throughput sees it without the ±20 % wall-clock scheduler
+    # noise that makes a tight qps gate unenforceable.  Untraced
+    # reference runs interleave with traced@0 runs (best-of-2 each) so
+    # thermal/frequency drift cancels too.  1 %/100 % sampling are one
+    # run each; their wall qps and CPU ratio are reported for
+    # EXPERIMENTS.md.
+    store, expected = _build(FMT_FILTERKV)
+    keys = np.fromiter(expected, dtype=np.int64)
+    ref_cps, traced0, traced0_cps = 0.0, None, 0.0
+    for _ in range(2):
+        rload, rcpu = _traced(store, expected, keys, None)
+        ref_cps = max(ref_cps, rload.requests / rcpu)
+        tload, tcpu = _traced(store, expected, keys, 0.0)
+        if tload.requests / tcpu > traced0_cps:
+            traced0, traced0_cps = tload, tload.requests / tcpu
+    trace_arms = [(0.0, "traced@0%", traced0, traced0_cps)]
+    for rate, label in ((0.01, "traced@1%"), (1.0, "traced@100%")):
+        tload, tcpu = _traced(store, expected, keys, rate)
+        trace_arms.append((rate, label, tload, tload.requests / tcpu))
+    for rate, label, tload, cps in trace_arms:
+        assert tload.incorrect == 0
+        rel = cps / ref_cps
+        rows.append(
+            [
+                "filterkv",
+                label,
+                f"{tload.qps:,.0f}",
+                tload.latency_ms["p50"],
+                tload.latency_ms["p95"],
+                tload.latency_ms["p99"],
+                f"{rel:.2f}x cpu",
+            ]
+        )
+        data_rows.append(
+            {
+                "format": "filterkv",
+                "arm": label,
+                "qps": round(tload.qps, 1),
+                "p50_ms": tload.latency_ms["p50"],
+                "p95_ms": tload.latency_ms["p95"],
+                "p99_ms": tload.latency_ms["p99"],
+                "cpu_throughput_vs_untraced": round(rel, 4),
+                "sample_rate": rate,
+            }
+        )
+    overhead_ok = traced0_cps / ref_cps
+    assert overhead_ok >= TRACE_OVERHEAD_GATE, (
+        f"tracing-disabled serving at {overhead_ok:.3f}x the untraced arm's CPU "
+        f"throughput (must be >= {TRACE_OVERHEAD_GATE} — the disabled path is "
+        "supposed to be free)"
+    )
+
     text, data = table_artifact(
-        ["format", "arm", "qps", "p50 ms", "p99 ms", "speedup"],
+        ["format", "arm", "qps", "p50 ms", "p95 ms", "p99 ms", "speedup"],
         rows,
         title=(
             f"Online serving — Zipfian({THETA}) over {NRANKS} ranks x "

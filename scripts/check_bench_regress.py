@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over ``repro.bench/v1`` artifacts.
+
+Compares a directory of freshly produced benchmark JSON documents against
+a committed baseline directory and **fails (exit 1)** when any throughput
+metric regresses by more than ``--threshold`` (default 20 %).
+
+Metric discovery is structural, not per-bench: the checker walks every
+JSON value recursively and treats a numeric field as throughput when its
+key matches ``qps|_per_s|_per_sec|per_s$|speedup`` (higher is better).
+Latency-style fields are deliberately ignored — quantiles at smoke scale
+are too noisy to gate on, and throughput regressions drag latency along
+anyway.
+
+Each metric gets a stable identity so rows can be matched across runs
+even when list order changes: the JSON path, with list elements keyed by
+their identifying fields (``format``, ``arm``, ``config``, ``mode``)
+when present, e.g.::
+
+    serve.json :: rows_detailed[format=filterkv,arm=served].qps
+
+Baselines committed to the repo were produced on one machine; CI runs on
+another.  ``--relative-only`` restricts the comparison to dimensionless
+metrics (``speedup``/``reduction``/``ratio``/``amplification`` keys),
+which are machine-independent — that is the mode the CI job uses.
+Absolute-throughput mode is for like-for-like machines (e.g. a local
+before/after run).
+
+Usage::
+
+    python scripts/check_bench_regress.py \
+        --baseline benchmarks/results/baseline_smoke \
+        --current  /tmp/bench_now \
+        --relative-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+THROUGHPUT_RE = re.compile(r"(qps|_per_s(ec)?$|per_s$|per_sec$|speedup)", re.IGNORECASE)
+RELATIVE_RE = re.compile(r"(speedup|reduction|ratio|amplification)", re.IGNORECASE)
+# Fields that identify a row within a list, in precedence order.
+IDENTITY_FIELDS = ("format", "arm", "config", "mode", "name", "machine")
+
+
+def _row_key(item) -> str | None:
+    """A stable identity for one list element, or None if unidentifiable."""
+    if not isinstance(item, dict):
+        return None
+    parts = [f"{f}={item[f]}" for f in IDENTITY_FIELDS if item.get(f) is not None]
+    return ",".join(parts) if parts else None
+
+
+def extract_metrics(doc, path: str = "") -> dict[str, float]:
+    """Flatten one bench document to ``{metric_path: value}``.
+
+    Only numeric leaves with throughput-looking keys survive.  Lists of
+    dicts are keyed by identity fields; anonymous lists by index (their
+    order is assumed stable, which holds for the repo's artifacts).
+    """
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for k, v in sorted(doc.items()):
+            sub = f"{path}.{k}" if path else k
+            if isinstance(v, (dict, list)):
+                out.update(extract_metrics(v, sub))
+            elif isinstance(v, (int, float)) and not isinstance(v, bool):
+                if THROUGHPUT_RE.search(k):
+                    out[sub] = float(v)
+    elif isinstance(doc, list):
+        for i, item in enumerate(doc):
+            key = _row_key(item)
+            sub = f"{path}[{key if key is not None else i}]"
+            out.update(extract_metrics(item, sub))
+    return out
+
+
+def load_dir(d: pathlib.Path) -> dict[str, dict[str, float]]:
+    """``{file_stem: metrics}`` for every ``*.json`` bench doc in ``d``."""
+    out = {}
+    for f in sorted(d.glob("*.json")):
+        try:
+            doc = json.loads(f.read_text())
+        except json.JSONDecodeError as e:
+            print(f"warning: {f} is not valid JSON ({e}); skipped", file=sys.stderr)
+            continue
+        out[f.stem] = extract_metrics(doc)
+    return out
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    current: dict[str, dict[str, float]],
+    threshold: float,
+    relative_only: bool,
+) -> tuple[list[tuple], list[tuple], int]:
+    """Returns ``(regressions, improvements, compared_count)``.
+
+    A metric regresses when ``current < baseline * (1 - threshold)``.
+    Metrics present on only one side are reported as warnings by the
+    caller, not failures — benches come and go across PRs.
+    """
+    regressions, improvements = [], []
+    compared = 0
+    for bench in sorted(set(baseline) & set(current)):
+        base_m, cur_m = baseline[bench], current[bench]
+        for key in sorted(set(base_m) & set(cur_m)):
+            leaf = key.rsplit(".", 1)[-1]
+            if relative_only and not RELATIVE_RE.search(leaf):
+                continue
+            b, c = base_m[key], cur_m[key]
+            if b <= 0:
+                continue
+            compared += 1
+            ratio = c / b
+            if ratio < 1.0 - threshold:
+                regressions.append((bench, key, b, c, ratio))
+            elif ratio > 1.0 + threshold:
+                improvements.append((bench, key, b, c, ratio))
+    return regressions, improvements, compared
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, type=pathlib.Path)
+    ap.add_argument("--current", required=True, type=pathlib.Path)
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional drop that fails the gate (default 0.20 = 20%%)",
+    )
+    ap.add_argument(
+        "--relative-only",
+        action="store_true",
+        help="compare only dimensionless metrics (speedups/ratios) — "
+        "use when baseline and current ran on different machines",
+    )
+    args = ap.parse_args(argv)
+
+    for d in (args.baseline, args.current):
+        if not d.is_dir():
+            print(f"error: {d} is not a directory", file=sys.stderr)
+            return 2
+    base = load_dir(args.baseline)
+    cur = load_dir(args.current)
+    if not base:
+        print(f"error: no bench JSON found under {args.baseline}", file=sys.stderr)
+        return 2
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    for b in only_base:
+        print(f"warning: {b}.json in baseline but not in current run", file=sys.stderr)
+    for b in only_cur:
+        print(f"note: {b}.json is new (no baseline); not gated", file=sys.stderr)
+
+    regressions, improvements, compared = compare(
+        base, cur, args.threshold, args.relative_only
+    )
+    mode = "relative metrics only" if args.relative_only else "all throughput metrics"
+    print(
+        f"compared {compared} metrics across {len(set(base) & set(cur))} benches "
+        f"({mode}, threshold {args.threshold:.0%})"
+    )
+    for bench, key, b, c, ratio in improvements:
+        print(f"  improved  {bench} :: {key}: {b:g} -> {c:g} ({ratio - 1:+.1%})")
+    for bench, key, b, c, ratio in regressions:
+        print(f"  REGRESSED {bench} :: {key}: {b:g} -> {c:g} ({ratio - 1:+.1%})")
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed beyond {args.threshold:.0%}")
+        return 1
+    if compared == 0:
+        print("warning: nothing compared — check directories/flags", file=sys.stderr)
+    print("OK: no throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

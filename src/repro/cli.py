@@ -16,6 +16,11 @@ Commands:
   the sealed-frame TCP protocol (``repro.serve``);
 * ``loadgen``  — drive a serving tier with Zipfian/uniform load and
   print client-observed QPS, latency quantiles, and shed counts;
+  ``--trace-sample`` traces a fraction of requests end-to-end and
+  ``--trace-out``/``--chrome-trace-out`` export the slowest span trees;
+* ``top``      — live dashboard against a running ``repro serve``:
+  trailing-window QPS, per-status rates, latency quantiles, and the
+  most recent sampled request traces;
 * ``table1``   — print the paper's Table I from the Bloom math;
 * ``machines`` — list the built-in machine models.
 """
@@ -125,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--max-batch", type=int, default=64)
     s.add_argument("--max-inflight", type=int, default=1024)
     s.add_argument("--queue-high-watermark", type=int, default=512)
+    s.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="server-side trace sampling rate in [0,1] (client-sampled "
+        "requests are always traced)",
+    )
+    s.add_argument(
+        "--stats-window", type=float, default=10.0, help="stats_live trailing window (s)"
+    )
 
     lg = sub.add_parser("loadgen", help="drive a serving tier and report latency/QPS")
     lg.add_argument(
@@ -147,6 +163,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--tcp", action="store_true", help="go through the TCP front end, not in-process"
     )
     lg.add_argument("--json-out", metavar="FILE", default=None, help="also write reports as JSON")
+    lg.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="trace this fraction of requests end-to-end (client span + "
+        "server span tree)",
+    )
+    lg.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the slowest sampled traces as repro.trace/v1 JSONL",
+    )
+    lg.add_argument(
+        "--chrome-trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the slowest sampled traces as a Chrome trace_event JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    lg.add_argument(
+        "--keep-traces", type=int, default=4, help="slowest sampled traces to keep per format"
+    )
+
+    t = sub.add_parser("top", help="live dashboard for a running `repro serve`")
+    t.add_argument("--host", default="127.0.0.1")
+    t.add_argument("--port", type=int, required=True)
+    t.add_argument("--interval", type=float, default=2.0, help="refresh period (s)")
+    t.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N refreshes (0 = run until Ctrl-C)",
+    )
+    t.add_argument("--window", type=float, default=None, help="override the stats window (s)")
+    t.add_argument("--traces", type=int, default=2, help="recent traces to show per refresh")
 
     a = sub.add_parser("advise", help="recommend a format for a deployment")
     a.add_argument("--machine", default="narwhal")
@@ -420,6 +473,7 @@ def _build_served_store(args):
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from .obs import TraceCollector
     from .serve import QueryService, ServeServer
 
     store, keys, _ = _build_served_store(args)
@@ -431,6 +485,8 @@ def _cmd_serve(args) -> int:
             max_batch=args.max_batch,
             max_inflight=args.max_inflight,
             queue_high_watermark=args.queue_high_watermark,
+            tracer=TraceCollector(sample_rate=args.trace_sample),
+            stats_window_s=args.stats_window,
         )
         async with ServeServer(service, host=args.host, port=args.port) as server:
             # flush so clients scripting around a piped server see the
@@ -466,30 +522,24 @@ def _cmd_loadgen(args) -> str:
             keys, distribution=args.distribution, theta=args.theta, seed=args.seed
         )
         service = QueryService(store)
+        load_kwargs = dict(
+            mode=args.mode,
+            concurrency=args.concurrency,
+            rate_qps=args.rate,
+            deadline_s=deadline_s,
+            expected=expected,
+            trace_rate=args.trace_sample,
+            trace_seed=args.seed,
+            keep_traces=args.keep_traces,
+        )
         if args.tcp:
             async with ServeServer(service) as server:
                 async with TCPClient(server.host, server.port) as client:
-                    report = await run_load(
-                        client,
-                        sampler,
-                        args.requests,
-                        mode=args.mode,
-                        concurrency=args.concurrency,
-                        rate_qps=args.rate,
-                        deadline_s=deadline_s,
-                        expected=expected,
-                    )
+                    report = await run_load(client, sampler, args.requests, **load_kwargs)
         else:
             async with service:
                 report = await run_load(
-                    InprocClient(service),
-                    sampler,
-                    args.requests,
-                    mode=args.mode,
-                    concurrency=args.concurrency,
-                    rate_qps=args.rate,
-                    deadline_s=deadline_s,
-                    expected=expected,
+                    InprocClient(service), sampler, args.requests, **load_kwargs
                 )
         svc_stats = service.stats()
         return report, svc_stats
@@ -504,6 +554,7 @@ def _cmd_loadgen(args) -> str:
                 report.requests,
                 f"{report.qps:,.0f}",
                 lat["p50"],
+                lat["p95"],
                 lat["p99"],
                 report.shed,
                 svc_stats["result_cache"]["hits"],
@@ -512,7 +563,18 @@ def _cmd_loadgen(args) -> str:
             ]
         )
     out = render_table(
-        ["format", "reqs", "qps", "p50 ms", "p99 ms", "shed", "rc hits", "neg skips", "bad"],
+        [
+            "format",
+            "reqs",
+            "qps",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "shed",
+            "rc hits",
+            "neg skips",
+            "bad",
+        ],
         rows,
         title=f"{args.mode}/{args.distribution} load, {args.ranks} ranks x "
         f"{args.records:,} records x {args.epochs} epoch(s)",
@@ -523,7 +585,102 @@ def _cmd_loadgen(args) -> str:
 
         pathlib.Path(args.json_out).write_text(json.dumps(reports, indent=2) + "\n")
         out += f"\nreports -> {args.json_out}"
+    out += _export_loadgen_traces(args, reports)
     return out
+
+
+def _export_loadgen_traces(args, reports: list[dict]) -> str:
+    """Write the slowest sampled traces from a loadgen run to disk.
+
+    All formats' kept traces go into one document — trace ids are unique
+    per tree, so JSONL consumers and the Chrome trace viewer keep them
+    apart without per-format files.
+    """
+    if not (args.trace_out or args.chrome_trace_out):
+        return ""
+    import json
+    import pathlib
+
+    from .obs import chrome_trace, dump_trace_jsonl, span_from_dict
+
+    spans = [
+        span_from_dict(d)
+        for rep in reports
+        for _lat_ms, tree in rep["report"].get("slow_traces", [])
+        for d in tree
+    ]
+    notes = []
+    if args.trace_out:
+        pathlib.Path(args.trace_out).write_text(dump_trace_jsonl(spans))
+        notes.append(f"traces -> {args.trace_out}")
+    if args.chrome_trace_out:
+        doc = chrome_trace(spans)
+        pathlib.Path(args.chrome_trace_out).write_text(json.dumps(doc) + "\n")
+        notes.append(f"chrome trace -> {args.chrome_trace_out}")
+    if not spans:
+        notes.append("(no traces sampled — raise --trace-sample?)")
+    return "\n" + ", ".join(notes)
+
+
+def _render_top_frame(live: dict, stats: dict, traces: list[list[dict]], where: str) -> str:
+    """One dashboard frame for ``repro top`` (pure: testable without a TTY)."""
+    from .obs import render_tree, span_from_dict
+
+    lat = live.get("latency_ms", {})
+    rc = stats.get("result_cache", {})
+    neg = stats.get("negative_cache", {})
+    counts = live.get("counts", {})
+    rates = live.get("rates_per_s", {})
+    lines = [
+        f"repro top — {live.get('format', '?')} @ {where}  "
+        f"(trailing {live.get('window_s', '?')}s)",
+        f"  qps {live.get('qps', 0):>10,.1f}   inflight {live.get('inflight', 0):<4d} "
+        f"queue {live.get('queue_depth', 0):<4d} "
+        f"shedding {'YES' if live.get('shedding') else 'no '}  "
+        f"shed_rate {live.get('shed_rate', 0.0):.2%}",
+        "  status   " + "  ".join(
+            f"{s}={counts.get(s, 0)} ({rates.get(s, 0.0):,.1f}/s)" for s in counts
+        ),
+        f"  latency  p50 {lat.get('p50', 0.0):.3f}ms  p95 {lat.get('p95', 0.0):.3f}ms  "
+        f"p99 {lat.get('p99', 0.0):.3f}ms  max {lat.get('max', 0.0):.3f}ms",
+        f"  caches   result {rc.get('hits', 0)}/{rc.get('hits', 0) + rc.get('misses', 0)} hit  "
+        f"negative {neg.get('skipped_probes', 0)} probes skipped",
+    ]
+    if traces:
+        lines.append(f"  traces   {live.get('traces_retained', 0)} retained; most recent:")
+        for tree in traces:
+            rendered = render_tree([span_from_dict(d) for d in tree])
+            lines.extend("    " + ln for ln in rendered.splitlines())
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import asyncio
+
+    from .serve import TCPClient
+
+    async def run() -> None:
+        where = f"{args.host}:{args.port}"
+        async with TCPClient(args.host, args.port) as client:
+            i = 0
+            while True:
+                live = await client.stats_live(window_s=args.window)
+                stats = await client.stats()
+                traces = await client.traces(args.traces) if args.traces > 0 else []
+                print(_render_top_frame(live, stats, traces[-args.traces :], where))
+                i += 1
+                if args.iterations and i >= args.iterations:
+                    return
+                print()
+                await asyncio.sleep(args.interval)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    except ConnectionError as e:
+        raise SystemExit(f"cannot reach {args.host}:{args.port}: {e}")
+    return 0
 
 
 def _cmd_advise(args) -> str:
@@ -563,6 +720,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     elif args.command == "loadgen":
         print(_cmd_loadgen(args))
+    elif args.command == "top":
+        return _cmd_top(args)
     elif args.command == "advise":
         print(_cmd_advise(args))
     return 0

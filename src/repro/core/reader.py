@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..obs import MetricsRegistry, active
+from ..obs import MetricsRegistry, active, child_span, current_span
 from ..storage.blockio import StorageDevice
 from ..storage.log import DataPointer, ValueLog
 from ..storage.sstable import FOOTER_BYTES, SSTableReader
@@ -139,6 +139,13 @@ class QueryEngine:
         The reader fetches the partition's entire aux table (the paper
         reads ~18 MB per query), then resolves candidates in memory.
         """
+        if current_span() is None:  # untraced: skip span-argument setup
+            self._fetch_aux(stats, owner)
+            return
+        with child_span("aux.fetch", partition=owner):
+            self._fetch_aux(stats, owner)
+
+    def _fetch_aux(self, stats: QueryStats, owner: int) -> None:
         aux_file = self.device.open(aux_table_name(self.epoch, owner))
         try:
             with self._charged(stats, "aux"):
@@ -160,14 +167,28 @@ class QueryEngine:
 
     def get(self, key: int) -> tuple[bytes | None, QueryStats]:
         """Point lookup; returns (value-or-None, cost accounting)."""
-        if self.fmt.name == "base":
-            value, stats = self._get_base(key)
-        elif self.fmt.name == "dataptr":
-            value, stats = self._get_dataptr(key)
-        else:
-            value, stats = self._get_filterkv(key)
-        self._observe(stats)
+        if current_span() is None:  # untraced: skip span-argument setup
+            value, stats = self._get_dispatch(key)
+            self._observe(stats)
+            return value, stats
+        with child_span(
+            "engine.get",
+            counters=self.metrics,
+            prefixes=("reader.",),
+            format=self.fmt.name,
+        ) as span:
+            value, stats = self._get_dispatch(key)
+            self._observe(stats)
+            if span is not None:
+                span.annotate(found=stats.found, partitions=stats.partitions_searched)
         return value, stats
+
+    def _get_dispatch(self, key: int) -> tuple[bytes | None, QueryStats]:
+        if self.fmt.name == "base":
+            return self._get_base(key)
+        if self.fmt.name == "dataptr":
+            return self._get_dataptr(key)
+        return self._get_filterkv(key)
 
     def _observe(self, stats: QueryStats) -> None:
         """Mirror one query's cost accounting into the registry."""
@@ -316,6 +337,28 @@ class QueryEngine:
         stats = [QueryStats() for _ in range(n)]
         if n == 0:
             return values, stats
+        if current_span() is None:  # untraced: skip span-argument setup
+            self._get_many_dispatch(arr, values, stats, n)
+            return values, stats
+        with child_span(
+            "engine.get_many",
+            counters=self.metrics,
+            prefixes=("reader.",),
+            format=self.fmt.name,
+            keys=n,
+        ) as span:
+            blocks, probes = self._get_many_dispatch(arr, values, stats, n)
+            if span is not None:
+                span.annotate(blocks=blocks, probes=probes)
+        return values, stats
+
+    def _get_many_dispatch(
+        self,
+        arr: np.ndarray,
+        values: list[bytes | None],
+        stats: list["QueryStats"],
+        n: int,
+    ) -> tuple[int, int]:
         if self.fmt.name == "base":
             blocks, probes = self._get_many_direct(arr, values, stats, deref=False)
         elif self.fmt.name == "dataptr":
@@ -328,7 +371,7 @@ class QueryEngine:
         self._m_batch_blocks.observe(blocks)
         if blocks:
             self._m_batch_coalesce.observe(probes / blocks)
-        return values, stats
+        return blocks, probes
 
     def _get_many_direct(
         self,

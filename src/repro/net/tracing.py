@@ -6,11 +6,14 @@ how busy each core's progress path was, where time went, and a rendered
 timeline for small runs.  Used by the RPC microbenchmarks when digging
 into *why* a configuration is slow rather than just how slow it is.
 
-Tracing shares the telemetry layer's export path: give the tracer a
-`MetricsRegistry` and every span is mirrored into a
+Tracing shares the telemetry layer's export path twice over: give the
+tracer a `MetricsRegistry` and every span is mirrored into a
 ``trace.span_seconds`` histogram (labeled by resource, span label, and
 outcome), so DES timelines land in the same JSON document as the
-pipeline/storage counters.
+pipeline/storage counters; and `to_spans` converts the whole timeline to
+the request-tracing layer's `SpanRecord`s, so one DES run exports to the
+same ``repro.trace/v1`` JSONL and Chrome ``trace_event`` formats as a
+traced serving request (`export_jsonl` / `chrome_trace`).
 """
 
 from __future__ import annotations
@@ -18,7 +21,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from ..obs import MetricsRegistry, active
+from ..obs import MetricsRegistry, SpanRecord, active
+from ..obs import chrome_trace as _chrome_trace
+from ..obs import dump_trace_jsonl
 from .des import Simulator
 
 __all__ = ["Span", "Tracer"]
@@ -83,6 +88,38 @@ class Tracer:
             self.record(resource, label, start, error=True)
             raise
         self.record(resource, label, start)
+
+    # -- unification with request tracing -----------------------------------
+
+    def to_spans(self, trace_id: str = "des") -> list[SpanRecord]:
+        """The timeline as request-tracing `SpanRecord`s.
+
+        Every DES span becomes a root span (simulated work has no caller
+        chain) named ``resource.label``, with the resource and label kept
+        as attrs.  Ids are deterministic — position in the timeline — so
+        repeated exports of the same run are byte-identical.
+        """
+        return [
+            SpanRecord(
+                trace_id=trace_id,
+                span_id=f"{trace_id}-{i:06d}",
+                parent_id=None,
+                name=f"{s.resource}.{s.label}" if s.label else s.resource,
+                start=s.start,
+                end=s.end,
+                status="error" if s.error else "ok",
+                attrs={"resource": s.resource, "label": s.label},
+            )
+            for i, s in enumerate(self.spans)
+        ]
+
+    def export_jsonl(self, trace_id: str = "des") -> str:
+        """The timeline as ``repro.trace/v1`` JSONL."""
+        return dump_trace_jsonl(self.to_spans(trace_id))
+
+    def chrome_trace(self, trace_id: str = "des") -> dict:
+        """The timeline as a Chrome/Perfetto ``trace_event`` document."""
+        return _chrome_trace(self.to_spans(trace_id))
 
     # -- analysis -----------------------------------------------------------
 

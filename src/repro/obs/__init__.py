@@ -25,6 +25,7 @@ from .export import (
     load_jsonl,
     registry_to_dict,
     registry_to_json,
+    registry_to_prometheus,
     series_to_dict,
 )
 from .metrics import (
@@ -35,6 +36,30 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
     active,
+)
+from .timeseries import TimeseriesHub, WindowedDigest
+from .trace import (
+    NULL_TRACER,
+    ActiveSpan,
+    NullTraceCollector,
+    SpanRecord,
+    TraceCollector,
+    TraceContext,
+    active_tracer,
+    child_span,
+    counter_key,
+    current_span,
+    snapshot_counters,
+)
+from .traceio import (
+    TRACE_SCHEMA,
+    build_trees,
+    chrome_trace,
+    dump_trace_jsonl,
+    load_trace_jsonl,
+    render_tree,
+    span_from_dict,
+    span_to_dict,
 )
 
 __all__ = [
@@ -48,11 +73,35 @@ __all__ = [
     "SCHEMA",
     "registry_to_dict",
     "registry_to_json",
+    "registry_to_prometheus",
     "dump_jsonl",
     "load_jsonl",
     "series_to_dict",
     "get_default_registry",
     "set_default_registry",
+    # tracing
+    "SpanRecord",
+    "TraceContext",
+    "ActiveSpan",
+    "TraceCollector",
+    "NullTraceCollector",
+    "NULL_TRACER",
+    "active_tracer",
+    "current_span",
+    "child_span",
+    "counter_key",
+    "snapshot_counters",
+    "TRACE_SCHEMA",
+    "span_to_dict",
+    "span_from_dict",
+    "dump_trace_jsonl",
+    "load_trace_jsonl",
+    "chrome_trace",
+    "build_trees",
+    "render_tree",
+    # live windows
+    "WindowedDigest",
+    "TimeseriesHub",
 ]
 
 _default: MetricsRegistry = NULL_REGISTRY

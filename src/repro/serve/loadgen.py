@@ -20,16 +20,30 @@ per-status counts, and — when the caller supplies the ground truth — a
 count of *incorrect* responses (wrong value, or a miss for a present
 key).  Shed (``overloaded``) and expired (``deadline_exceeded``) answers
 are refusals, not wrong answers; they are never counted as incorrect.
+
+Latency is measured from *send time* (the instant the ``get`` is issued),
+not from arrival/enqueue time: in an open loop the generator can fall
+behind its own arrival schedule, and folding that client-side queueing
+into "latency" would make the quantiles disagree with what the server's
+spans measure.  The arrival→send gap is reported separately as
+``queue_ms``.
+
+With ``trace_rate > 0`` the generator samples requests for end-to-end
+tracing: each sampled request opens a client root span, propagates its
+`TraceContext` to the server, and stitches the server's returned span
+tree under it — the report keeps the ``keep_traces`` slowest of these
+sampled trees, which is how you look at a p99 request's anatomy.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import TraceCollector, span_to_dict
 from .service import DEADLINE_EXCEEDED, NOT_FOUND, OK, OVERLOADED, STATUSES
 
 __all__ = ["KeySampler", "LoadReport", "run_load"]
@@ -89,6 +103,9 @@ class LoadReport:
     latency_ms: dict
     incorrect: int
     checked: int
+    queue_ms: dict = field(default_factory=dict)
+    traced: int = 0
+    slow_traces: list = field(default_factory=list)  # [(latency_ms, [span dicts])]
 
     @property
     def qps(self) -> float:
@@ -111,17 +128,36 @@ class LoadReport:
             "qps": round(self.qps, 1),
             "statuses": dict(self.statuses),
             "latency_ms": dict(self.latency_ms),
+            "queue_ms": dict(self.queue_ms),
             "incorrect": self.incorrect,
             "checked": self.checked,
+            "traced": self.traced,
+            "slow_traces": list(self.slow_traces),
         }
 
     def summary(self) -> str:
         lat = self.latency_ms
-        return (
+        out = (
             f"{self.mode}/{self.distribution}: {self.requests} reqs in {self.wall_s:.2f}s "
-            f"({self.qps:,.0f} qps), p50={lat['p50']:.3f}ms p99={lat['p99']:.3f}ms, "
+            f"({self.qps:,.0f} qps), p50={lat['p50']:.3f}ms p99={lat['p99']:.3f}ms "
+            f"(queue p95={self.queue_ms.get('p95', 0.0):.3f}ms), "
             f"shed={self.shed}, incorrect={self.incorrect}/{self.checked}"
         )
+        if self.traced:
+            out += f", traced={self.traced}"
+        return out
+
+
+def _quantiles_ms(values_s: list[float]) -> dict:
+    ms = np.asarray(values_s, dtype=np.float64) * 1e3 if values_s else np.zeros(1)
+    return {
+        "mean": round(float(ms.mean()), 4),
+        "p50": round(float(np.percentile(ms, 50)), 4),
+        "p90": round(float(np.percentile(ms, 90)), 4),
+        "p95": round(float(np.percentile(ms, 95)), 4),
+        "p99": round(float(np.percentile(ms, 99)), 4),
+        "max": round(float(ms.max()), 4),
+    }
 
 
 def _report(
@@ -129,26 +165,25 @@ def _report(
     distribution: str,
     statuses: dict,
     latencies: list[float],
+    queue_waits: list[float],
     wall_s: float,
     incorrect: int,
     checked: int,
+    traced: int,
+    slow_traces: list,
 ) -> LoadReport:
-    lat = np.asarray(latencies, dtype=np.float64) * 1e3 if latencies else np.zeros(1)
     return LoadReport(
         mode=mode,
         distribution=distribution,
         requests=int(sum(statuses.values())),
         wall_s=wall_s,
         statuses=statuses,
-        latency_ms={
-            "mean": round(float(lat.mean()), 4),
-            "p50": round(float(np.percentile(lat, 50)), 4),
-            "p90": round(float(np.percentile(lat, 90)), 4),
-            "p99": round(float(np.percentile(lat, 99)), 4),
-            "max": round(float(lat.max()), 4),
-        },
+        latency_ms=_quantiles_ms(latencies),
+        queue_ms=_quantiles_ms(queue_waits),
         incorrect=incorrect,
         checked=checked,
+        traced=traced,
+        slow_traces=slow_traces,
     )
 
 
@@ -162,12 +197,21 @@ async def run_load(
     deadline_s: float | None = None,
     epoch: int | None = None,
     expected: dict[int, bytes | None] | None = None,
+    trace_rate: float = 0.0,
+    trace_seed: int = 0,
+    keep_traces: int = 4,
 ) -> LoadReport:
     """Issue ``total_requests`` lookups and report what the client saw.
 
     ``expected`` maps key -> value (or None for an intentional miss); when
     given, every answered response is checked against it and mismatches
     are counted in ``LoadReport.incorrect``.
+
+    ``trace_rate`` samples that fraction of requests for end-to-end
+    tracing (seeded by ``trace_seed``): a sampled request propagates its
+    context to the server and comes back with the server-side span tree
+    stitched under a client root span.  The ``keep_traces`` slowest
+    sampled trees land in ``LoadReport.slow_traces``.
     """
     if total_requests < 1:
         raise ValueError(f"total_requests must be >= 1, got {total_requests}")
@@ -176,15 +220,36 @@ async def run_load(
     keys = sampler.sample(total_requests)
     statuses = {s: 0 for s in STATUSES}
     latencies: list[float] = []
+    queue_waits: list[float] = []
     incorrect = 0
     checked = 0
+    traced = 0
+    sampled_trees: list[tuple[float, list[dict]]] = []
+    tracer = TraceCollector(sample_rate=trace_rate, seed=trace_seed) if trace_rate else None
 
-    async def issue(key: int) -> None:
-        nonlocal incorrect, checked
-        t0 = time.perf_counter()
-        response = await client.get(int(key), epoch=epoch, deadline_s=deadline_s)
-        latencies.append(time.perf_counter() - t0)
+    async def issue(key: int, t_enq: float) -> None:
+        nonlocal incorrect, checked, traced
+        root = None
+        if tracer is not None and tracer.should_sample():
+            root = tracer.start("client.get", key=int(key), mode=mode)
+        t0 = time.perf_counter()  # send time: latency excludes client queueing
+        queue_waits.append(t0 - t_enq)
+        if root is None:
+            response = await client.get(int(key), epoch=epoch, deadline_s=deadline_s)
+        else:
+            response = await client.get(
+                int(key), epoch=epoch, deadline_s=deadline_s, trace=root.ctx
+            )
+        dt = time.perf_counter() - t0
+        latencies.append(dt)
         statuses[response.status] = statuses.get(response.status, 0) + 1
+        if root is not None:
+            traced += 1
+            root.annotate(status=response.status)
+            root.finish()
+            tree = [span_to_dict(s) for s in tracer.trace(root.trace_id)]
+            tree += list(response.trace or [])
+            sampled_trees.append((dt, tree))
         if expected is not None and response.status in (OK, NOT_FOUND):
             checked += 1
             want = expected.get(int(key))
@@ -198,7 +263,7 @@ async def run_load(
 
         async def worker() -> None:
             for i in cursor:  # workers share one iterator: no key is issued twice
-                await issue(keys[i])
+                await issue(keys[i], time.perf_counter())
 
         await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
     else:
@@ -213,8 +278,26 @@ async def run_load(
             delay = next_at - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            tasks.append(loop.create_task(issue(keys[i])))
+            # Enqueue time: the request exists now; it is *sent* when its
+            # task first runs.  The gap is client-side queueing, kept out
+            # of the latency quantiles and reported as queue_ms.
+            tasks.append(loop.create_task(issue(keys[i], time.perf_counter())))
         await asyncio.gather(*tasks)
     wall_s = time.perf_counter() - start
 
-    return _report(mode, sampler.distribution, statuses, latencies, wall_s, incorrect, checked)
+    slow = [
+        [round(dt * 1e3, 4), tree]
+        for dt, tree in sorted(sampled_trees, key=lambda x: -x[0])[: max(0, keep_traces)]
+    ]
+    return _report(
+        mode,
+        sampler.distribution,
+        statuses,
+        latencies,
+        queue_waits,
+        wall_s,
+        incorrect,
+        checked,
+        traced,
+        slow,
+    )

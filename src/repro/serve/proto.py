@@ -11,15 +11,22 @@ integrity story for bytes at rest and bytes in flight.
 
 Messages are id-tagged JSON objects.  Requests::
 
-    {"id": 7, "op": "get", "key": 123, "epoch": null, "deadline_s": 0.05}
+    {"id": 7, "op": "get", "key": 123, "epoch": null, "deadline_s": 0.05,
+     "trace": {"trace_id": "...", "span_id": "...", "sampled": true}}
     {"id": 8, "op": "stats"}
-    {"id": 9, "op": "ping"}
+    {"id": 9, "op": "stats_live", "window_s": 5.0}
+    {"id": 10, "op": "trace", "n": 4}
+    {"id": 11, "op": "ping"}
 
 Responses echo the id and carry the `ServeResponse` fields (values hex-
-encoded — JSON has no bytes).  Requests on one connection are served
-*concurrently* — each frame spawns a task, and responses are written as
-they finish, matched by id — so a single connection still benefits from
-the service's batching and coalescing.
+encoded — JSON has no bytes).  The optional ``trace`` header is a
+propagated `TraceContext`: a sampled context makes the response carry the
+request's full server-side span tree, so a client can reassemble an
+end-to-end trace across the connection.  ``stats_live`` and ``trace``
+are the live-telemetry verbs behind ``repro top``.  Requests on one
+connection are served *concurrently* — each frame spawns a task, and
+responses are written as they finish, matched by id — so a single
+connection still benefits from the service's batching and coalescing.
 
 Two clients expose the same async ``get``/``stats`` surface:
 `TCPClient` speaks the framed protocol over a socket; `InprocClient`
@@ -33,6 +40,7 @@ import itertools
 import json
 import struct
 
+from ..obs import TraceContext
 from ..storage.envelope import SealError, seal, unseal
 from .service import ERROR, QueryService, ServeResponse
 
@@ -78,7 +86,7 @@ async def read_frame(reader: asyncio.StreamReader) -> dict | None:
 
 
 def _response_fields(response: ServeResponse) -> dict:
-    return {
+    out = {
         "status": response.status,
         "key": response.key,
         "epoch": response.epoch,
@@ -86,6 +94,9 @@ def _response_fields(response: ServeResponse) -> dict:
         "cached": response.cached,
         "detail": response.detail,
     }
+    if response.trace is not None:
+        out["trace"] = response.trace
+    return out
 
 
 def _response_from_fields(fields: dict) -> ServeResponse:
@@ -97,6 +108,7 @@ def _response_from_fields(fields: dict) -> ServeResponse:
         value=bytes.fromhex(value) if value is not None else None,
         cached=bool(fields.get("cached", False)),
         detail=fields.get("detail", ""),
+        trace=fields.get("trace"),
     )
 
 
@@ -151,10 +163,29 @@ class ServeServer:
                         int(request["key"]),
                         epoch=request.get("epoch"),
                         deadline_s=request.get("deadline_s"),
+                        trace=request.get("trace"),
                     )
                     await respond({"id": rid, **_response_fields(response)})
                 elif op == "stats":
                     await respond({"id": rid, "stats": self.service.stats()})
+                elif op == "stats_live":
+                    await respond(
+                        {
+                            "id": rid,
+                            "stats": self.service.live_stats(
+                                window_s=request.get("window_s")
+                            ),
+                        }
+                    )
+                elif op == "trace":
+                    await respond(
+                        {
+                            "id": rid,
+                            "traces": self.service.recent_traces(
+                                int(request.get("n", 8))
+                            ),
+                        }
+                    )
                 elif op == "ping":
                     await respond({"id": rid, "pong": True})
                 else:
@@ -253,15 +284,25 @@ class TCPClient:
         return await future
 
     async def get(
-        self, key: int, epoch: int | None = None, deadline_s: float | None = None
+        self,
+        key: int,
+        epoch: int | None = None,
+        deadline_s: float | None = None,
+        trace: TraceContext | None = None,
     ) -> ServeResponse:
-        fields = await self._call(
-            {"op": "get", "key": int(key), "epoch": epoch, "deadline_s": deadline_s}
-        )
-        return _response_from_fields(fields)
+        message = {"op": "get", "key": int(key), "epoch": epoch, "deadline_s": deadline_s}
+        if trace is not None:
+            message["trace"] = trace.to_wire()
+        return _response_from_fields(await self._call(message))
 
     async def stats(self) -> dict:
         return (await self._call({"op": "stats"}))["stats"]
+
+    async def stats_live(self, window_s: float | None = None) -> dict:
+        return (await self._call({"op": "stats_live", "window_s": window_s}))["stats"]
+
+    async def traces(self, n: int = 8) -> list[list[dict]]:
+        return (await self._call({"op": "trace", "n": int(n)}))["traces"]
 
     async def ping(self) -> bool:
         return bool((await self._call({"op": "ping"})).get("pong"))
@@ -292,12 +333,22 @@ class InprocClient:
         pass
 
     async def get(
-        self, key: int, epoch: int | None = None, deadline_s: float | None = None
+        self,
+        key: int,
+        epoch: int | None = None,
+        deadline_s: float | None = None,
+        trace: TraceContext | None = None,
     ) -> ServeResponse:
-        return await self.service.get(key, epoch=epoch, deadline_s=deadline_s)
+        return await self.service.get(key, epoch=epoch, deadline_s=deadline_s, trace=trace)
 
     async def stats(self) -> dict:
         return self.service.stats()
+
+    async def stats_live(self, window_s: float | None = None) -> dict:
+        return self.service.live_stats(window_s=window_s)
+
+    async def traces(self, n: int = 8) -> list[list[dict]]:
+        return self.service.recent_traces(n)
 
     async def ping(self) -> bool:
         return True

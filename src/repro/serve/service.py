@@ -35,13 +35,21 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.reader import QueryStats
-from ..obs import MetricsRegistry
+from ..obs import (
+    ActiveSpan,
+    MetricsRegistry,
+    TimeseriesHub,
+    TraceCollector,
+    TraceContext,
+    counter_key,
+    span_to_dict,
+)
 from .cache import LRUCache, NegativeCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,6 +74,11 @@ ERROR = "error"
 
 STATUSES = (OK, NOT_FOUND, OVERLOADED, DEADLINE_EXCEEDED, ERROR)
 
+# Counter families a traced request attributes to its spans.  Everything
+# the serve stack can touch: its own counters, the engines' reader.*,
+# aux-table fetches, and the storage layer underneath.
+_TRACE_PREFIXES = ("serve.", "reader.", "aux.", "sstable.", "vlog.")
+
 
 @dataclass(frozen=True)
 class ServeResponse:
@@ -80,6 +93,7 @@ class ServeResponse:
     value: bytes | None = None
     cached: bool = False
     detail: str = ""
+    trace: list | None = None  # span dicts, only on sampled requests
 
     @property
     def ok(self) -> bool:
@@ -89,13 +103,16 @@ class ServeResponse:
 class _Pending:
     """One admitted, not-yet-executed probe shared by its waiters."""
 
-    __slots__ = ("key", "epoch", "future", "live_waiters")
+    __slots__ = ("key", "epoch", "future", "live_waiters", "traced")
 
     def __init__(self, key: int, epoch: int, future: asyncio.Future):
         self.key = key
         self.epoch = epoch
         self.future = future
         self.live_waiters = 1
+        # (root span, enqueue time) per *traced* waiter — empty on the
+        # fast path, so untraced requests never touch it.
+        self.traced: list[tuple[ActiveSpan, float]] = []
 
 
 class _FilterWork:
@@ -168,6 +185,15 @@ class QueryService:
         series; a private real registry is created when omitted, because
         a serving tier's hit rates and shed counts are part of its
         behavior, not optional debug output.
+    tracer:
+        Span collector for sampled requests.  Defaults to a collector
+        with ``sample_rate=0`` — the service originates no traces of its
+        own but still records requests whose clients sampled them (the
+        `TraceContext` arrives in the frame header).  Pass a collector
+        with a positive rate to sample server-side.
+    stats_window_s:
+        Trailing window for `live_stats` (the ``STATS`` verb / ``repro
+        top`` view).
     """
 
     def __init__(
@@ -185,6 +211,8 @@ class QueryService:
         table_cache_entries: int = 64,
         parallel_probe: bool = False,
         metrics: MetricsRegistry | None = None,
+        tracer: TraceCollector | None = None,
+        stats_window_s: float = 10.0,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -198,6 +226,17 @@ class QueryService:
         self.table_cache_entries = table_cache_entries
         self.parallel_probe = parallel_probe
         self.metrics = metrics if metrics is not None else MetricsRegistry("serve")
+        # A real collector even when tracing "off": sample_rate 0 means
+        # the service originates no traces, but a request that arrives
+        # with a sampled TraceContext (the client decided) still records.
+        self.tracer = tracer if tracer is not None else TraceCollector()
+        self._tracer_may_sample = self.tracer.sample_rate > 0.0
+        self.timeseries = TimeseriesHub(
+            STATUSES,
+            answered=(OK, NOT_FOUND),
+            shed=(OVERLOADED, DEADLINE_EXCEEDED),
+            window_s=stats_window_s,
+        )
         low = (
             queue_low_watermark
             if queue_low_watermark is not None
@@ -294,26 +333,47 @@ class QueryService:
     # -- the request path --------------------------------------------------
 
     async def get(
-        self, key: int, epoch: int | None = None, deadline_s: float | None = None
+        self,
+        key: int,
+        epoch: int | None = None,
+        deadline_s: float | None = None,
+        trace: "TraceContext | dict | None" = None,
     ) -> ServeResponse:
         """Point lookup.  Always returns a `ServeResponse`; never raises
-        for data-plane conditions (bad epoch, overload, deadline)."""
+        for data-plane conditions (bad epoch, overload, deadline).
+
+        ``trace`` is an optional propagated `TraceContext` (or its wire
+        dict); a sampled context — or a hit on the local tracer's sample
+        rate — makes the response carry its full span tree.
+        """
         t0 = time.perf_counter()
         key = int(key)
+        # Fast path: no propagated context and a tracer that never samples
+        # means no request here can be traced — skip the helper entirely
+        # (it costs a wire-context parse per call, which is pure waste at
+        # the default sample rate of 0).
+        if trace is None and not self._tracer_may_sample:
+            root = None
+        else:
+            root = self._trace_begin(key, epoch, trace)
         if self._closed:
-            return self._done(t0, ServeResponse(ERROR, key, epoch, detail="service closed"))
+            return self._done(
+                t0, ServeResponse(ERROR, key, epoch, detail="service closed"), root
+            )
         try:
             resolved = self._resolve_epoch(epoch)
         except LookupError as e:
-            return self._done(t0, ServeResponse(ERROR, key, epoch, detail=str(e)))
+            return self._done(t0, ServeResponse(ERROR, key, epoch, detail=str(e)), root)
         if resolved is None:
-            return self._done(t0, ServeResponse(NOT_FOUND, key, epoch))
+            return self._done(t0, ServeResponse(NOT_FOUND, key, epoch), root)
 
         hit, entry = self._rcache.lookup((resolved, key))
+        if root is not None:
+            root.charge("serve.result_cache.hits" if hit else "serve.result_cache.misses")
         if hit:
             status, value = entry
             return self._done(
-                t0, ServeResponse(status, key, resolved, value=value, cached=True)
+                t0, ServeResponse(status, key, resolved, value=value, cached=True), root
             )
 
         # Admission control: explicit refusal beats queueing collapse.
@@ -321,7 +381,10 @@ class QueryService:
             self._queue.qsize()
         ):
             self._m_sheds.inc()
-            return self._done(t0, ServeResponse(OVERLOADED, key, resolved))
+            if root is not None:
+                root.charge("serve.sheds")
+            self._trace_shed(root, "overloaded")
+            return self._done(t0, ServeResponse(OVERLOADED, key, resolved), root)
 
         self._ensure_dispatcher()
         ck = (resolved, key)
@@ -329,10 +392,15 @@ class QueryService:
         if pending is not None:
             pending.live_waiters += 1
             self._m_coalesced.inc()
+            if root is not None:
+                root.annotate(coalesced=True)
+                root.charge("serve.coalesced")
         else:
             pending = _Pending(key, resolved, asyncio.get_running_loop().create_future())
             self._index[ck] = pending
             self._queue.put_nowait(pending)
+        if root is not None:
+            pending.traced.append((root, time.perf_counter()))
         self._inflight += 1
         self._m_inflight_gauge.inc()
         if deadline_s is None:
@@ -346,17 +414,70 @@ class QueryService:
                 )
         except asyncio.TimeoutError:
             pending.live_waiters -= 1
-            return self._done(t0, ServeResponse(DEADLINE_EXCEEDED, key, resolved))
+            self._trace_shed(root, "deadline")
+            return self._done(t0, ServeResponse(DEADLINE_EXCEEDED, key, resolved), root)
         finally:
             self._inflight -= 1
             self._m_inflight_gauge.dec()
         pending.live_waiters -= 1
-        return self._done(t0, response)
+        return self._done(t0, response, root)
 
-    def _done(self, t0: float, response: ServeResponse) -> ServeResponse:
+    def _done(
+        self, t0: float, response: ServeResponse, root: ActiveSpan | None = None
+    ) -> ServeResponse:
+        dt = time.perf_counter() - t0
         self._m_requests[response.status].inc()
-        self._m_latency[response.status].observe(time.perf_counter() - t0)
+        self._m_latency[response.status].observe(dt)
+        self.timeseries.record(response.status, dt)
+        if root is not None:
+            root.annotate(status=response.status)
+            if response.cached:
+                root.annotate(cached=True)
+            root.charge(counter_key("serve.requests", (("status", response.status),)))
+            root.finish(
+                status="ok" if response.status in (OK, NOT_FOUND) else response.status
+            )
+            tree = self.tracer.trace(root.trace_id)
+            response = replace(response, trace=[span_to_dict(s) for s in tree])
         return response
+
+    # -- tracing helpers ---------------------------------------------------
+
+    def _trace_begin(
+        self, key: int, epoch: int | None, trace: "TraceContext | dict | None"
+    ) -> ActiveSpan | None:
+        """Open the request's root span when this request is sampled —
+        either upstream (propagated context) or by the local tracer.
+
+        The root takes no registry snapshot: it stays open across the
+        await on the dispatcher, where concurrent requests interleave,
+        so a snapshot delta would claim sibling requests' work.  Its own
+        enumerable increments are attributed with `ActiveSpan.charge`;
+        the shared probe work is attributed by the synchronous
+        ``serve.batch`` span (charged to the window's lead traced
+        request, like bulk-read I/O is charged to a group's first key).
+        """
+        ctx = trace if isinstance(trace, TraceContext) else TraceContext.from_wire(trace)
+        if ctx is not None and not ctx.sampled:
+            ctx = None
+        if ctx is None and not self.tracer.should_sample():
+            return None
+        return self.tracer.start("serve.get", parent=ctx, key=key, epoch=epoch)
+
+    def _trace_shed(self, root: ActiveSpan | None, reason: str) -> None:
+        """Terminal zero-width span marking where a request was refused."""
+        if root is None:
+            return
+        now = time.perf_counter()
+        self.tracer.record(
+            "serve.shed",
+            now,
+            now,
+            trace_id=root.trace_id,
+            parent_id=root.span_id,
+            status="shed",
+            attrs={"reason": reason},
+        )
 
     # -- dispatch ----------------------------------------------------------
 
@@ -423,16 +544,27 @@ class QueryService:
                 )
             else:
                 live.append(pending)
+        now = time.perf_counter()
+        for pending in live:
+            for root, enqueued_at in pending.traced:
+                self.tracer.record(
+                    "serve.queue",
+                    enqueued_at,
+                    now,
+                    trace_id=root.trace_id,
+                    parent_id=root.span_id,
+                )
         by_epoch: dict[int, list[_Pending]] = {}
         for pending in live:
             by_epoch.setdefault(pending.epoch, []).append(pending)
         for epoch, items in by_epoch.items():
             try:
                 engine = self._engine(epoch)
-                if self.store.fmt.name == "filterkv":
-                    self._probe_filterkv(engine, epoch, items)
+                roots = [root for p in items for root, _ in p.traced]
+                if roots:
+                    self._probe_traced(engine, epoch, items, roots)
                 else:
-                    self._probe_direct(engine, epoch, items)
+                    self._probe_group(engine, epoch, items)
             except Exception as e:  # fail this group loudly, keep serving
                 for pending in items:
                     if not pending.future.done():
@@ -440,6 +572,56 @@ class QueryService:
                             pending,
                             ServeResponse(ERROR, pending.key, epoch, detail=repr(e)),
                         )
+
+    def _probe_group(self, engine, epoch: int, items: list[_Pending]) -> None:
+        if self.store.fmt.name == "filterkv":
+            self._probe_filterkv(engine, epoch, items)
+        else:
+            self._probe_direct(engine, epoch, items)
+
+    def _probe_traced(
+        self, engine, epoch: int, items: list[_Pending], roots: list[ActiveSpan]
+    ) -> None:
+        """Probe with the window's shared work attributed to spans.
+
+        The *lead* traced member owns the real ``serve.batch`` subtree —
+        its counter deltas are the window's shared cost, charged once
+        (the same convention the bulk read path uses for physical I/O).
+        Every other traced member gets a structural mirror of that
+        subtree (fresh span ids, no counters, ``shared=True``) so its
+        tree still shows *where* time went without double-counting.
+        """
+        lead = roots[0]
+        with self.tracer.span(
+            "serve.batch",
+            parent=lead,
+            counters=self.metrics,
+            prefixes=_TRACE_PREFIXES,
+            batch=len(items),
+            epoch=epoch,
+            traced=len(roots),
+        ) as bspan:
+            self._probe_group(engine, epoch, items)
+        if len(roots) > 1:
+            subtree = self.tracer.subtree(bspan.span_id)
+            for other in roots[1:]:
+                self._mirror_subtree(subtree, other)
+
+    def _mirror_subtree(self, spans, member_root: ActiveSpan) -> None:
+        """Copy a finished span subtree under another trace's root."""
+        copy_of: dict[str, str] = {}
+        for s in sorted(spans, key=lambda s: (s.start, s.end)):
+            parent = copy_of.get(s.parent_id or "", member_root.span_id)
+            rec = self.tracer.record(
+                s.name,
+                s.start,
+                s.end,
+                trace_id=member_root.trace_id,
+                parent_id=parent,
+                status=s.status,
+                attrs={**s.attrs, "shared": True},
+            )
+            copy_of[s.span_id] = rec.span_id
 
     def _finish(self, pending: _Pending, response: ServeResponse) -> None:
         if response.status in (OK, NOT_FOUND):
@@ -541,6 +723,7 @@ class QueryService:
             "requests": {s: int(m.total("serve.requests", status=s)) for s in STATUSES},
             "latency_ms": {
                 "p50": round(ok_lat.quantile(0.5) * 1e3, 3),
+                "p95": round(ok_lat.quantile(0.95) * 1e3, 3),
                 "p99": round(ok_lat.quantile(0.99) * 1e3, 3),
                 "count": ok_lat.count,
             },
@@ -560,3 +743,21 @@ class QueryService:
             "mean_batch_occupancy": round(m.histogram("serve.batch_occupancy").mean, 3),
             "inflight": self._inflight,
         }
+
+    def live_stats(self, window_s: float | None = None) -> dict:
+        """Trailing-window view (QPS, shed rate, latency quantiles) —
+        the payload behind the ``stats_live`` verb and ``repro top``."""
+        out = self.timeseries.snapshot(window_s=window_s)
+        out["format"] = self.store.fmt.name
+        out["epochs"] = list(self.store.epochs)
+        out["inflight"] = self._inflight
+        out["queue_depth"] = self._queue.qsize()
+        out["shedding"] = self._shedder.shedding
+        out["traces_retained"] = len(self.tracer)
+        return out
+
+    def recent_traces(self, n: int = 8) -> list[list[dict]]:
+        """The last ``n`` retained traces as span-dict lists (JSON-safe)."""
+        return [
+            [span_to_dict(s) for s in spans] for spans in self.tracer.recent_traces(n)
+        ]

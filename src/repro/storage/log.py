@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.trace import child_span, current_span
 from .blockio import ExtentLostError, StorageDevice, StorageFile
 
 __all__ = ["DataPointer", "ValueLog", "POINTER_BYTES"]
@@ -142,6 +143,12 @@ class ValueLog:
         sweeps the log monotonically instead of seeking back and forth —
         the access pattern a real device rewards.
         """
+        if current_span() is None:  # untraced: skip span-argument setup
+            return self._read_many(pointers, size_hint)
+        with child_span("vlog.read_many", rank=self.rank, n=len(pointers)):
+            return self._read_many(pointers, size_hint)
+
+    def _read_many(self, pointers: list[DataPointer], size_hint: int) -> list[bytes]:
         order = sorted(range(len(pointers)), key=lambda i: pointers[i].offset)
         out: list[bytes] = [b""] * len(pointers)
         for i in order:

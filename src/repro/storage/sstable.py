@@ -42,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..filters.bloom import BloomFilter
+from ..obs.trace import child_span, current_span
 from .blockio import StorageDevice, StorageFile
 from .checksum import CHECKSUM_BYTES, fastsum64
 
@@ -335,6 +336,8 @@ class SSTableReader:
         block_cache_blocks: int = 2,
     ):
         self._file = device.open(name)
+        self.name = name
+        self._metrics = device.metrics
         self.verify_checksums = verify_checksums
         # Small LRU over decoded data blocks: consecutive gets that land in
         # the same block (sorted scans, hot blocks under a warm reader)
@@ -430,6 +433,14 @@ class SSTableReader:
     def get(self, key: int) -> bytes | None:
         """Point lookup; returns the (first) value or None."""
         key = int(key)
+        if current_span() is None:  # untraced: skip span-argument setup
+            return self._get(key)
+        with child_span(
+            "sstable.get", counters=self._metrics, prefixes=("sstable.",), table=self.name
+        ):
+            return self._get(key)
+
+    def _get(self, key: int) -> bytes | None:
         if not self.may_contain(key):
             return None
         lo = int(np.searchsorted(self._last, np.uint64(key), side="left"))
@@ -535,6 +546,21 @@ class SSTableReader:
         denominator of the block-coalescing ratio.
         """
         keys = np.asarray(keys, dtype=np.uint64).ravel()
+        if current_span() is None:  # untraced: skip span-argument setup
+            return self._get_many(keys)
+        with child_span(
+            "sstable.get_many",
+            counters=self._metrics,
+            prefixes=("sstable.",),
+            table=self.name,
+            keys=int(keys.size),
+        ) as span:
+            values, blocks_touched = self._get_many(keys)
+            if span is not None:
+                span.annotate(blocks=blocks_touched)
+            return values, blocks_touched
+
+    def _get_many(self, keys: np.ndarray) -> tuple[list[bytes | None], int]:
         values: list[bytes | None] = [None] * keys.size
         if keys.size == 0 or self._first.size == 0:
             return values, 0

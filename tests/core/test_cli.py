@@ -138,3 +138,66 @@ def test_serve_parser_accepts_options():
         ["serve", "--ranks", "4", "--records", "100", "--port", "9999"]
     )
     assert args.command == "serve" and args.port == 9999 and args.fmt == "filterkv"
+
+
+def test_loadgen_command_with_tracing(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "traces.jsonl"
+    chrome_path = tmp_path / "chrome.json"
+    main(
+        [
+            "loadgen", "--format", "filterkv", "--ranks", "4", "--records", "150",
+            "--requests", "200", "--trace-sample", "0.2",
+            "--trace-out", str(trace_path), "--chrome-trace-out", str(chrome_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "p95 ms" in out and "traces ->" in out
+    from repro.obs import load_trace_jsonl
+
+    spans = load_trace_jsonl(trace_path.read_text())
+    assert spans, "trace export produced no spans"
+    names = {s.name for s in spans}
+    assert "client.get" in names and "serve.get" in names
+    doc = json.loads(chrome_path.read_text())
+    assert doc["traceEvents"] and doc["metadata"]["schema"] == "repro.trace/v1"
+
+
+def test_top_command_renders_live_dashboard():
+    # Drive the dashboard's frame renderer with the real verb payloads:
+    # serve over TCP, answer queries, fetch stats_live/stats/traces, and
+    # render exactly what one `repro top` refresh prints.
+    import argparse as _ap
+    import asyncio
+
+    from repro.cli import _build_served_store
+    from repro.obs import TraceCollector
+    from repro.serve import QueryService, ServeServer, TCPClient
+
+    store_args = _ap.Namespace(fmt="filterkv", ranks=4, records=100, epochs=1,
+                               value_bytes=24, seed=0)
+    store, keys, _ = _build_served_store(store_args)
+
+    async def dashboard_flow():
+        service = QueryService(store, tracer=TraceCollector(sample_rate=1.0))
+        async with ServeServer(service) as server:
+            async with TCPClient(server.host, server.port) as client:
+                for k in keys[:20]:
+                    await client.get(int(k))
+                live = await client.stats_live()
+                stats = await client.stats()
+                traces = await client.traces(1)
+        from repro.cli import _render_top_frame
+
+        return _render_top_frame(live, stats, traces, f"{server.host}:{server.port}")
+
+    frame = asyncio.run(dashboard_flow())
+    assert "repro top — filterkv" in frame
+    assert "qps" in frame and "latency" in frame and "caches" in frame
+    assert "serve.get" in frame  # the rendered span tree
+
+
+def test_top_parser_defaults():
+    args = build_parser().parse_args(["top", "--port", "1234"])
+    assert args.command == "top" and args.interval == 2.0 and args.iterations == 0

@@ -125,3 +125,44 @@ def test_spans_mirror_into_metrics_registry():
 def test_tracer_without_registry_stays_silent():
     sim, tracer = _traced_workload()
     assert len(tracer.metrics) == 0  # the shared null registry
+
+
+def test_to_spans_unifies_with_request_tracing():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.record("core0", "hash", 0.0, 1.5)
+    tracer.record("nic", "send", 1.5, 2.0, error=True)
+    spans = tracer.to_spans()
+    assert [s.name for s in spans] == ["core0.hash", "nic.send"]
+    # Deterministic ids: position in the timeline.
+    assert [s.span_id for s in spans] == ["des-000000", "des-000001"]
+    assert all(s.trace_id == "des" and s.parent_id is None for s in spans)
+    assert spans[1].status == "error"
+    assert spans[0].attrs == {"resource": "core0", "label": "hash"}
+    # Byte-identical on repeated export.
+    assert tracer.export_jsonl() == tracer.export_jsonl()
+
+
+def test_des_exports_shared_trace_formats():
+    from repro.obs import load_trace_jsonl
+
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.record("core0", "hash", 0.0, 1.0)
+    back = load_trace_jsonl(tracer.export_jsonl(trace_id="run7"))
+    assert len(back) == 1 and back[0].trace_id == "run7"
+    doc = tracer.chrome_trace()
+    (event,) = doc["traceEvents"]
+    assert event["ph"] == "X" and event["dur"] == pytest.approx(1e6)
+    assert doc["metadata"]["schema"] == "repro.trace/v1"
+
+
+def test_des_spans_mirror_into_metrics_histogram():
+    from repro.obs import MetricsRegistry
+
+    sim = Simulator()
+    reg = MetricsRegistry()
+    tracer = Tracer(sim, metrics=reg)
+    tracer.record("core0", "hash", 0.0, 2.0)
+    h = reg.histogram("trace.span_seconds", resource="core0", label="hash", outcome="ok")
+    assert h.count == 1 and h.total == pytest.approx(2.0)

@@ -68,3 +68,43 @@ def test_round_tripped_registry_still_merges():
     total = MetricsRegistry()
     total.merge(back, rank=0).merge(back, rank=1)
     assert total.total("pipeline.wire_bytes") == 2 * (800 + 1600)
+
+
+def test_prometheus_exposition_format():
+    from repro.obs import registry_to_prometheus
+
+    text = registry_to_prometheus(_sample_registry())
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    # counters gain _total; labels are rendered and escaped
+    assert '# TYPE pipeline_wire_bytes_total counter' in lines
+    assert 'pipeline_wire_bytes_total{format="filterkv"} 800' in lines
+    assert '# TYPE aux_utilization gauge' in lines
+    assert 'aux_utilization{backend="cuckoo"} 0.84' in lines
+    # histograms export as summaries with quantile series + _sum/_count
+    assert '# TYPE reader_read_amplification summary' in lines
+    assert any(
+        l.startswith('reader_read_amplification{format="filterkv",quantile="0.95"}')
+        for l in lines
+    )
+    assert any(l.startswith("reader_read_amplification_count") for l in lines)
+    # TYPE line precedes its family's samples
+    assert lines.index('# TYPE aux_utilization gauge') < lines.index(
+        'aux_utilization{backend="cuckoo"} 0.84'
+    )
+
+
+def test_prometheus_sanitizes_names_and_escapes_values():
+    from repro.obs import registry_to_prometheus
+
+    reg = MetricsRegistry()
+    reg.counter("weird-name.x", path='a"b\\c').inc(1)
+    text = registry_to_prometheus(reg)
+    assert "weird_name_x_total" in text
+    assert '\\"' in text and "\\\\" in text
+
+
+def test_prometheus_empty_registry():
+    from repro.obs import registry_to_prometheus
+
+    assert registry_to_prometheus(MetricsRegistry()) == ""

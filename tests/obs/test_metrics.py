@@ -140,3 +140,26 @@ def test_default_registry_install_and_restore():
     set_default_registry(MetricsRegistry())
     set_default_registry(None)
     assert get_default_registry() is NULL_REGISTRY
+
+
+def test_histogram_summary_quantiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for v in range(1, 101):
+        h.observe(float(v))
+    s = h.summary()
+    assert s["count"] == 100
+    assert s["p50"] == pytest.approx(50.5)
+    assert s["p95"] == pytest.approx(95.05)
+    assert s["p99"] == pytest.approx(99.01)
+    assert s["max"] == 100.0
+
+
+def test_rollup_pools_histogram_observations_for_quantiles():
+    reg = MetricsRegistry()
+    reg.histogram("lat", rank=0).observe(1.0)
+    reg.histogram("lat", rank=1).observe(3.0)
+    pooled = reg.rollup("rank").histogram("lat")
+    assert pooled.count == 2
+    assert pooled.summary()["p50"] == pytest.approx(2.0)
+    assert pooled.summary()["p95"] == pytest.approx(2.9)

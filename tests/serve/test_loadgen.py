@@ -137,3 +137,112 @@ def test_run_load_validation():
                 await run_load(client, sampler, 10, mode="open")  # no rate
 
     run(main())
+
+
+def test_latency_excludes_client_queueing():
+    """Latency is measured from send time; the arrival->send gap lands in
+    queue_ms.  A client that stalls before sending must not inflate the
+    latency quantiles."""
+
+    class InstantClient:
+        async def get(self, key, epoch=None, deadline_s=None):
+            from repro.serve.service import ServeResponse
+
+            return ServeResponse("ok", key, 0, value=b"x")
+
+    async def main():
+        sampler = KeySampler(np.arange(16), seed=0)
+        return await run_load(InstantClient(), sampler, 50, concurrency=4)
+
+    rep = run(main())
+    assert rep.requests == 50
+    # Instant service: send-time latency is tiny even though 4 workers
+    # share one loop (arrival->send waits would be much larger).
+    assert rep.latency_ms["p99"] < 5.0
+    assert set(rep.queue_ms) == {"mean", "p50", "p90", "p95", "p99", "max"}
+    assert rep.latency_ms["p95"] <= rep.latency_ms["p99"]
+
+
+def test_report_carries_queue_and_p95_fields(fmt):
+    store, truth = shared_store(fmt)
+    keys = np.fromiter(truth[0], dtype=np.int64)
+
+    async def main():
+        async with QueryService(store) as svc:
+            return await run_load(
+                InprocClient(svc), KeySampler(keys, seed=2), 60, concurrency=8
+            )
+
+    rep = run(main())
+    d = rep.to_dict()
+    assert "p95" in d["latency_ms"] and "queue_ms" in d
+    assert d["traced"] == 0 and d["slow_traces"] == []
+    assert "queue p95=" in rep.summary()
+
+
+def test_trace_sampling_stitches_server_tree(fmt):
+    store, truth = shared_store(fmt)
+    keys = np.fromiter(truth[0], dtype=np.int64)
+
+    async def main():
+        async with QueryService(store) as svc:
+            return await run_load(
+                InprocClient(svc),
+                KeySampler(keys, seed=2),
+                120,
+                concurrency=8,
+                expected=truth[0],
+                trace_rate=1.0,
+                keep_traces=3,
+            )
+
+    rep = run(main())
+    assert rep.incorrect == 0
+    assert rep.traced == 120
+    assert len(rep.slow_traces) == 3
+    lats = [lat for lat, _ in rep.slow_traces]
+    assert lats == sorted(lats, reverse=True)  # slowest first
+    for _lat, tree in rep.slow_traces:
+        names = {s["name"] for s in tree}
+        assert "client.get" in names  # the client root...
+        assert "serve.get" in names  # ...with the server tree stitched under it
+        client_root = next(s for s in tree if s["name"] == "client.get")
+        serve_root = next(s for s in tree if s["name"] == "serve.get")
+        assert serve_root["parent_id"] == client_root["span_id"]
+        assert serve_root["trace_id"] == client_root["trace_id"]
+        assert "traced=120" in rep.summary()
+
+
+def test_trace_rate_zero_works_with_clients_lacking_trace_support():
+    """trace_rate=0 must never pass a trace kwarg, so pre-tracing clients
+    (or stubs) keep working unchanged."""
+
+    class LegacyClient:
+        async def get(self, key, epoch=None, deadline_s=None):  # no trace kwarg
+            from repro.serve.service import ServeResponse
+
+            return ServeResponse("not_found", key, 0)
+
+    async def main():
+        return await run_load(LegacyClient(), KeySampler(np.arange(8), seed=0), 20)
+
+    rep = run(main())
+    assert rep.requests == 20 and rep.traced == 0
+
+
+def test_trace_sampling_is_seeded(fmt):
+    store, truth = shared_store(fmt)
+    keys = np.fromiter(truth[0], dtype=np.int64)
+
+    async def one():
+        async with QueryService(store) as svc:
+            rep = await run_load(
+                InprocClient(svc),
+                KeySampler(keys, seed=2),
+                80,
+                trace_rate=0.25,
+                trace_seed=9,
+            )
+            return rep.traced
+
+    assert run(one()) == run(one())
