@@ -7,7 +7,9 @@ metric regresses by more than ``--threshold`` (default 20 %).
 
 Metric discovery is structural, not per-bench: the checker walks every
 JSON value recursively and treats a numeric field as throughput when its
-key matches ``qps|_per_s|_per_sec|per_s$|speedup`` (higher is better).
+key matches ``qps|_per_s|_per_sec|per_s$|speedup`` (higher is better) or
+as a cost when it matches ``amplification`` (lower is better — growth
+beyond the threshold fails the gate, shrinkage is an improvement).
 Latency-style fields are deliberately ignored — quantiles at smoke scale
 are too noisy to gate on, and throughput regressions drag latency along
 anyway.
@@ -44,6 +46,9 @@ import sys
 
 THROUGHPUT_RE = re.compile(r"(qps|_per_s(ec)?$|per_s$|per_sec$|speedup)", re.IGNORECASE)
 RELATIVE_RE = re.compile(r"(speedup|reduction|ratio|amplification)", re.IGNORECASE)
+# Cost-style metrics where growth is the regression (read amplification
+# after compaction, etc.).  Dimensionless, so always relative-safe.
+LOWER_BETTER_RE = re.compile(r"amplification", re.IGNORECASE)
 # Fields that identify a row within a list, in precedence order.
 IDENTITY_FIELDS = ("format", "arm", "config", "mode", "name", "machine")
 
@@ -70,7 +75,7 @@ def extract_metrics(doc, path: str = "") -> dict[str, float]:
             if isinstance(v, (dict, list)):
                 out.update(extract_metrics(v, sub))
             elif isinstance(v, (int, float)) and not isinstance(v, bool):
-                if THROUGHPUT_RE.search(k):
+                if THROUGHPUT_RE.search(k) or LOWER_BETTER_RE.search(k):
                     out[sub] = float(v)
     elif isinstance(doc, list):
         for i, item in enumerate(doc):
@@ -101,9 +106,11 @@ def compare(
 ) -> tuple[list[tuple], list[tuple], int]:
     """Returns ``(regressions, improvements, compared_count)``.
 
-    A metric regresses when ``current < baseline * (1 - threshold)``.
-    Metrics present on only one side are reported as warnings by the
-    caller, not failures — benches come and go across PRs.
+    A throughput metric regresses when ``current < baseline * (1 -
+    threshold)``; a lower-is-better metric (``amplification``) regresses
+    when ``current > baseline * (1 + threshold)``.  Metrics present on
+    only one side are reported as warnings by the caller, not failures —
+    benches come and go across PRs.
     """
     regressions, improvements = [], []
     compared = 0
@@ -118,6 +125,8 @@ def compare(
                 continue
             compared += 1
             ratio = c / b
+            if LOWER_BETTER_RE.search(leaf):
+                ratio = b / c if c > 0 else 0.0  # invert: growth regresses
             if ratio < 1.0 - threshold:
                 regressions.append((bench, key, b, c, ratio))
             elif ratio > 1.0 + threshold:

@@ -13,6 +13,7 @@ from .auxtable import (
     rank_bits,
 )
 from .advisor import Advice, recommend_format
+from .compact import CompactionPolicy, CompactionReport, Compactor
 from .costmodel import WritePhaseResult, WriteRunConfig, model_write_phase
 from .multiepoch import MultiEpochStore
 from .formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV, FORMATS, FormatSpec
@@ -35,6 +36,9 @@ __all__ = [
     "rank_bits",
     "Advice",
     "recommend_format",
+    "CompactionPolicy",
+    "CompactionReport",
+    "Compactor",
     "MultiEpochStore",
     "WritePhaseResult",
     "WriteRunConfig",

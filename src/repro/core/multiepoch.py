@@ -19,14 +19,20 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..obs import MetricsRegistry
 from ..storage.blockio import DeviceProfile, StorageDevice
 from ..storage.envelope import unseal
+from ..storage.tiering import TierConfig, TieredStorage
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from ..cluster.simcluster import ClusterStats
+
+    from .reader import CachedQueryEngine
 from ..storage.manifest import EpochInfo, Manifest, RecoveryReport
 from .auxtable import AuxTable, aux_from_blob
+from .compact import CompactionPolicy, CompactionReport, Compactor
 from .formats import FMT_FILTERKV, FORMATS, FormatSpec
 from .kv import KVBatch
 from .partitioning import HashPartitioner
@@ -34,6 +40,19 @@ from .pipeline import aux_table_name, main_table_name
 from .reader import QueryEngine, QueryStats
 
 __all__ = ["MultiEpochStore"]
+
+
+def _merge_stats(dst: QueryStats, src: QueryStats) -> None:
+    """Fold one epoch probe's costs into a cross-epoch aggregate."""
+    dst.found = dst.found or src.found
+    dst.latency += src.latency
+    dst.reads += src.reads
+    dst.bytes_read += src.bytes_read
+    dst.partitions_searched += src.partitions_searched
+    for k, v in src.breakdown_reads.items():
+        dst.breakdown_reads[k] = dst.breakdown_reads.get(k, 0) + v
+    for k, v in src.breakdown_bytes.items():
+        dst.breakdown_bytes[k] = dst.breakdown_bytes.get(k, 0) + v
 
 
 class MultiEpochStore:
@@ -49,6 +68,8 @@ class MultiEpochStore:
         block_size: int = 1 << 20,
         seed: int = 0,
         device: StorageDevice | None = None,
+        compaction: CompactionPolicy | None = None,
+        tiering: TieredStorage | TierConfig | None = None,
     ):
         self.nranks = nranks
         self.fmt = fmt
@@ -59,7 +80,20 @@ class MultiEpochStore:
         self.device = device if device is not None else StorageDevice(device_profile)
         self.manifest = Manifest(fmt=fmt.name, nranks=nranks, value_bytes=value_bytes)
         self._engines: dict[int, QueryEngine] = {}
-        self._next_epoch = 0
+        # Warm per-epoch engines for the store's own repeated read paths
+        # (trajectory/lookup); built lazily, closed deterministically.
+        self._cached: dict[int, CachedQueryEngine] = {}
+        # Compaction: optional size-tiered policy checked after every
+        # commit, and a generation counter serving tiers watch to learn
+        # that the epoch set changed under them.
+        self.compaction_policy = compaction
+        self.compactions = 0
+        self.last_compaction: CompactionReport | None = None
+        # Optional burst-buffer/PFS model: dumps land on the burst buffer;
+        # compaction output is drained, PFS-resident data.
+        if isinstance(tiering, TierConfig):
+            tiering = TieredStorage(tiering)
+        self.tiering = tiering
 
     # -- attach / recover ----------------------------------------------------
 
@@ -84,7 +118,6 @@ class MultiEpochStore:
             **kwargs,
         )
         store.manifest = manifest
-        store._next_epoch = (max(manifest.epoch_ids) + 1) if manifest.epochs else 0
         for epoch in manifest.epoch_ids:
             store._engines[epoch] = store._attach_engine(epoch)
         return store
@@ -131,6 +164,16 @@ class MultiEpochStore:
 
     # -- writing -----------------------------------------------------------
 
+    @property
+    def _next_epoch(self) -> int:
+        """Monotone epoch-id watermark, persisted with the manifest.
+
+        Never decreases — not across attach, recover, or compaction — so a
+        retired epoch id can never be handed out again and alias stale
+        ``(epoch, key)`` cache entries elsewhere in the system.
+        """
+        return self.manifest.next_epoch
+
     def write_epoch(self, batches: list[KVBatch]) -> "ClusterStats":
         """Partition and persist one dump (one KVBatch per rank)."""
         from ..cluster.simcluster import SimCluster  # local: avoid cycle
@@ -160,17 +203,28 @@ class MultiEpochStore:
             for n in self.device.list_files()
             if n.startswith((f"part.{epoch:03d}.", f"aux.{epoch:03d}.")) or n.startswith("vlog.")
         )
+        epoch_bytes = self.device.total_bytes_stored() - before
         self.manifest.add_epoch(
             EpochInfo(
                 epoch=epoch,
                 records=records,
                 files=files,
-                bytes=self.device.total_bytes_stored() - before,
+                bytes=epoch_bytes,
             )
         )
         self.manifest.save(self.device)
-        self._next_epoch += 1
-        return cluster.stats
+        if self.tiering is not None and epoch_bytes > 0:
+            # Each dump lands as a burst on the burst buffer.
+            self.tiering.write_burst(epoch_bytes)
+            self._observe_tiers()
+        # Materialize the (lazily computed) stats before the policy hook:
+        # compaction may retire this very epoch and sweep its extents.
+        stats = cluster.stats
+        if self.compaction_policy is not None:
+            picked = self.compaction_policy.select(self.manifest)
+            if picked:
+                self.compact(picked)
+        return stats
 
     # -- reading -----------------------------------------------------------
 
@@ -178,7 +232,17 @@ class MultiEpochStore:
     def epochs(self) -> list[int]:
         return self.manifest.epoch_ids
 
+    def resolve_epoch(self, epoch: int) -> int:
+        """Live epoch serving ``epoch``'s data.
+
+        Identity for live epochs; epochs retired by compaction forward to
+        the merged epoch that absorbed them (which serves the newest-wins
+        union of its sources).  Raises KeyError for ids never committed.
+        """
+        return self.manifest.resolve_epoch(int(epoch))
+
     def engine(self, epoch: int) -> QueryEngine:
+        epoch = self.resolve_epoch(epoch)
         if epoch not in self._engines:
             raise KeyError(f"no such epoch {epoch} (have {self.epochs})")
         return self._engines[epoch]
@@ -208,11 +272,25 @@ class MultiEpochStore:
             nranks=self.nranks,
             partitioner=base.partitioner,
             aux_tables=base.aux_tables,
-            epoch=epoch,
+            epoch=base.epoch,
             parallel_probe=parallel_probe,
             metrics=metrics,
             **kwargs,
         )
+
+    def _pooled_engine(self, epoch: int) -> "CachedQueryEngine":
+        """The store's own warm engine for one live epoch.
+
+        Built on first use and reused by every subsequent `trajectory` /
+        `lookup` call, so repeated cross-epoch reads don't churn reader
+        handles; `close` (or compaction retiring the epoch) releases them.
+        """
+        resolved = self.resolve_epoch(epoch)
+        engine = self._cached.get(resolved)
+        if engine is None:
+            engine = self.cached_engine(resolved)
+            self._cached[resolved] = engine
+        return engine
 
     def get(self, key: int, epoch: int) -> tuple[bytes | None, QueryStats]:
         """Point query at one timestep (the paper's Fig. 11 query)."""
@@ -225,8 +303,118 @@ class MultiEpochStore:
         return self.engine(epoch).get_many(keys)
 
     def trajectory(self, key: int) -> list[tuple[int, bytes | None, QueryStats]]:
-        """The key's value at every epoch — a particle's trajectory."""
-        return [(e, *self.get(key, e)) for e in self.epochs]
+        """The key's value at every epoch — a particle's trajectory.
+
+        Served from the store's pooled warm engines: repeated trajectory
+        calls reuse open readers and loaded aux tables instead of opening
+        and closing every partition's handles on each call.
+        """
+        return [(e, *self._pooled_engine(e).get(key)) for e in self.epochs]
+
+    def lookup(
+        self, key: int, cached: bool = True
+    ) -> tuple[bytes | None, int | None, QueryStats]:
+        """Newest value of ``key`` across all live epochs.
+
+        Walks epochs newest-first with early stop — the read whose cost
+        grows linearly with live epoch count, and exactly the view
+        compaction preserves (first-write-wins, newest epoch first).
+        Returns ``(value, epoch_found, aggregate_stats)``.  With
+        ``cached=False`` every probe opens partitions afresh (the paper's
+        cold reader), which is what `benchmarks/bench_compact.py` measures.
+        """
+        agg = QueryStats()
+        for epoch in reversed(self.epochs):
+            probe = self._pooled_engine(epoch) if cached else self._engines[epoch]
+            value, stats = probe.get(key)
+            _merge_stats(agg, stats)
+            if value is not None:
+                return value, epoch, agg
+        return None, None, agg
+
+    def lookup_many(
+        self, keys, cached: bool = True
+    ) -> tuple[list[bytes | None], list[int | None], list[QueryStats]]:
+        """Bulk `lookup`: each epoch is probed once with the still-missing
+        keys (block-coalesced), newest first."""
+        arr = np.asarray(keys, dtype=np.uint64).ravel()
+        values: list[bytes | None] = [None] * arr.size
+        found: list[int | None] = [None] * arr.size
+        agg = [QueryStats() for _ in range(arr.size)]
+        remaining = list(range(arr.size))
+        for epoch in reversed(self.epochs):
+            if not remaining:
+                break
+            probe = self._pooled_engine(epoch) if cached else self._engines[epoch]
+            vals, stats = probe.get_many(arr[remaining])
+            still: list[int] = []
+            for i, value, st in zip(remaining, vals, stats):
+                _merge_stats(agg[i], st)
+                if value is not None:
+                    values[i] = value
+                    found[i] = epoch
+                else:
+                    still.append(i)
+            remaining = still
+        return values, found, agg
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self, epochs: list[int] | None = None) -> CompactionReport | None:
+        """Merge sealed epochs into one and atomically swap the manifest.
+
+        ``epochs`` defaults to what the policy picks (or every live epoch
+        when no policy is configured).  Returns None when there is nothing
+        to merge.  The store keeps serving throughout: its in-memory state
+        flips to the merged manifest only after the on-device swap lands.
+        """
+        if epochs is None:
+            if self.compaction_policy is not None:
+                epochs = self.compaction_policy.select(self.manifest)
+            else:
+                epochs = self.epochs if len(self.epochs) >= 2 else None
+        if not epochs or len(epochs) < 2:
+            return None
+        manifest, report = Compactor(self).run(list(epochs))
+        # The swap is on storage; now flip the in-memory view.  Engines
+        # over retired epochs hold handles on extents the sweep deleted —
+        # close them before anything probes through them.
+        self.manifest = manifest
+        for epoch in report.source_epochs:
+            self._engines.pop(epoch, None)
+            stale = self._cached.pop(epoch, None)
+            if stale is not None:
+                stale.close()
+        self._engines[report.merged_epoch] = self._attach_engine(report.merged_epoch)
+        self.compactions += 1
+        self.last_compaction = report
+        if self.tiering is not None:
+            # Merged output is drained, PFS-resident data: let the model
+            # finish draining what the retired bursts left on the BB.
+            self.tiering.idle(
+                self.tiering.bb_occupancy / self.tiering.config.drain_bandwidth
+            )
+            self._observe_tiers()
+        return report
+
+    def _observe_tiers(self) -> None:
+        reg = self.device.metrics
+        reg.gauge("tiering.bb_bytes").set(self.tiering.bb_occupancy)
+        reg.gauge("tiering.pfs_bytes").set(self.tiering.drained_total)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every pooled reader handle (idempotent)."""
+        for engine in self._cached.values():
+            engine.close()
+        self._cached.clear()
+
+    def __enter__(self) -> "MultiEpochStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- inventory ---------------------------------------------------------
 
@@ -242,5 +430,16 @@ class MultiEpochStore:
             lines.append(
                 f"  epoch {e.epoch}: {e.records:,} records, "
                 f"{len(e.files)} files, {e.bytes:,} B"
+            )
+        if self.manifest.compacted:
+            mapping = ", ".join(
+                f"{old}->{new}" for old, new in sorted(self.manifest.compacted.items())
+            )
+            lines.append(f"compacted: {mapping} (next epoch id {self.manifest.next_epoch})")
+        if self.tiering is not None:
+            lines.append(
+                f"tiers: burst buffer {self.tiering.bb_occupancy:,.0f} B, "
+                f"PFS {self.tiering.drained_total:,.0f} B drained "
+                f"(queryable at t={self.tiering.queryable_after():.2f}s)"
             )
         return "\n".join(lines)

@@ -12,6 +12,7 @@ from .cache import LRUCache, NegativeCache
 from .loadgen import KeySampler, LoadReport, run_load
 from .proto import InprocClient, ServeServer, TCPClient
 from .service import (
+    ANY_EPOCH,
     DEADLINE_EXCEEDED,
     ERROR,
     NOT_FOUND,
@@ -32,6 +33,7 @@ __all__ = [
     "KeySampler",
     "LoadReport",
     "run_load",
+    "ANY_EPOCH",
     "OK",
     "NOT_FOUND",
     "OVERLOADED",

@@ -59,12 +59,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "QueryService",
     "ServeResponse",
+    "ANY_EPOCH",
     "OK",
     "NOT_FOUND",
     "OVERLOADED",
     "DEADLINE_EXCEEDED",
     "ERROR",
 ]
+
+# Sentinel epoch for "the newest value anywhere": the request walks live
+# epochs newest-first and stops at the first hit — the cross-epoch view
+# compaction preserves.  Cache entries for it are versioned by the newest
+# epoch id, so both new commits and compactions shift the cache key.
+ANY_EPOCH = -1
 
 OK = "ok"
 NOT_FOUND = "not_found"
@@ -101,11 +108,15 @@ class ServeResponse:
 
 
 class _Pending:
-    """One admitted, not-yet-executed probe shared by its waiters."""
+    """One admitted, not-yet-executed probe shared by its waiters.
+
+    ``epoch`` is the resolved cache token: a live epoch id, or the
+    ``("any", newest)`` tuple for cross-epoch requests.
+    """
 
     __slots__ = ("key", "epoch", "future", "live_waiters", "traced")
 
-    def __init__(self, key: int, epoch: int, future: asyncio.Future):
+    def __init__(self, key: int, epoch, future: asyncio.Future):
         self.key = key
         self.epoch = epoch
         self.future = future
@@ -118,10 +129,10 @@ class _Pending:
 class _FilterWork:
     """Per-request probe state while a FilterKV batch executes."""
 
-    __slots__ = ("pending", "stats", "ranks", "value", "found")
+    __slots__ = ("key", "stats", "ranks", "value", "found")
 
-    def __init__(self, pending: _Pending, stats: QueryStats, ranks: list[int]):
-        self.pending = pending
+    def __init__(self, key: int, stats: QueryStats, ranks: list[int]):
+        self.key = key
         self.stats = stats
         self.ranks = ranks
         self.value: bytes | None = None
@@ -246,8 +257,13 @@ class QueryService:
         self._rcache = LRUCache(result_cache_entries, self.metrics, name="serve.result_cache")
         self._negcache = NegativeCache(negative_cache_entries, self.metrics)
         self._engines: dict[int, "CachedQueryEngine"] = {}
+        # Compaction generation last observed on the store.  When it moves,
+        # mounted engines hold handles on extents the sweep deleted and
+        # epoch-keyed cache entries may describe retired epochs — both are
+        # dropped before the next probe runs.
+        self._store_gen = getattr(store, "compactions", 0)
         self._queue: asyncio.Queue = asyncio.Queue()
-        self._index: dict[tuple[int, int], _Pending] = {}
+        self._index: dict[tuple, _Pending] = {}
         self._inflight = 0
         self._dispatcher: asyncio.Task | None = None
         self._closed = False
@@ -317,18 +333,40 @@ class QueryService:
             self._engines[epoch] = engine
         return engine
 
-    def _resolve_epoch(self, epoch: int | None) -> int | None:
+    def _check_generation(self) -> None:
+        """Pick up a compaction swap: drop engines and epoch-keyed caches."""
+        gen = getattr(self.store, "compactions", 0)
+        if gen != self._store_gen:
+            self.invalidate()
+            self._store_gen = gen
+
+    def _resolve_epoch(self, epoch: int | None):
         """Which committed epoch a request addresses (newest when
-        unqualified).  ``None`` means the store has no epochs yet."""
+        unqualified).  ``None`` means the store has no epochs yet.
+
+        `ANY_EPOCH` resolves to the ``("any", newest)`` token: hashable
+        (it versions the result cache — a new commit or a compaction
+        moves the newest id, shifting the key) and recognized by the
+        dispatcher as "walk all live epochs".  Epoch ids retired by
+        compaction resolve to the merged epoch that absorbed them.
+        """
         epochs = self.store.epochs
         if not epochs:
             return None
         if epoch is None:
             return epochs[-1]
         epoch = int(epoch)
-        if epoch not in epochs:
-            raise LookupError(f"no such epoch {epoch} (have {epochs})")
-        return epoch
+        if epoch == ANY_EPOCH:
+            return ("any", epochs[-1])
+        if epoch in epochs:
+            return epoch
+        resolve = getattr(self.store, "resolve_epoch", None)
+        if resolve is not None:
+            try:
+                return resolve(epoch)
+            except KeyError:
+                pass
+        raise LookupError(f"no such epoch {epoch} (have {epochs})")
 
     # -- the request path --------------------------------------------------
 
@@ -360,6 +398,7 @@ class QueryService:
             return self._done(
                 t0, ServeResponse(ERROR, key, epoch, detail="service closed"), root
             )
+        self._check_generation()
         try:
             resolved = self._resolve_epoch(epoch)
         except LookupError as e:
@@ -371,10 +410,14 @@ class QueryService:
         if root is not None:
             root.charge("serve.result_cache.hits" if hit else "serve.result_cache.misses")
         if hit:
-            status, value = entry
+            status, value, found_epoch = entry
             return self._done(
-                t0, ServeResponse(status, key, resolved, value=value, cached=True), root
+                t0, ServeResponse(status, key, found_epoch, value=value, cached=True), root
             )
+
+        # Tuple tokens are cache/dispatch internals; responses that carry
+        # no answer report the requested sentinel instead.
+        public = resolved if isinstance(resolved, int) else ANY_EPOCH
 
         # Admission control: explicit refusal beats queueing collapse.
         if self._inflight >= self.max_inflight or self._shedder.should_shed(
@@ -384,7 +427,7 @@ class QueryService:
             if root is not None:
                 root.charge("serve.sheds")
             self._trace_shed(root, "overloaded")
-            return self._done(t0, ServeResponse(OVERLOADED, key, resolved), root)
+            return self._done(t0, ServeResponse(OVERLOADED, key, public), root)
 
         self._ensure_dispatcher()
         ck = (resolved, key)
@@ -415,7 +458,7 @@ class QueryService:
         except asyncio.TimeoutError:
             pending.live_waiters -= 1
             self._trace_shed(root, "deadline")
-            return self._done(t0, ServeResponse(DEADLINE_EXCEEDED, key, resolved), root)
+            return self._done(t0, ServeResponse(DEADLINE_EXCEEDED, key, public), root)
         finally:
             self._inflight -= 1
             self._m_inflight_gauge.dec()
@@ -526,13 +569,27 @@ class QueryService:
             if pending is not None:
                 self._finish(
                     pending,
-                    ServeResponse(ERROR, pending.key, pending.epoch, detail="service closed"),
+                    ServeResponse(
+                        ERROR,
+                        pending.key,
+                        self._public_epoch(pending.epoch),
+                        detail="service closed",
+                    ),
                 )
+
+    @staticmethod
+    def _public_epoch(token) -> int | None:
+        """The epoch a response may carry: internal tuple tokens map back
+        to the `ANY_EPOCH` sentinel the client sent."""
+        return token if (token is None or isinstance(token, int)) else ANY_EPOCH
 
     def _run_batch(self, batch: list[_Pending]) -> None:
         """Execute one dispatch window against the store (synchronous)."""
         self._m_batches.inc()
         self._m_occupancy.observe(len(batch))
+        # A compaction that landed since these requests were admitted
+        # deleted the extents the mounted engines hold handles on.
+        self._check_generation()
         live: list[_Pending] = []
         for pending in batch:
             self._index.pop((pending.epoch, pending.key), None)
@@ -540,7 +597,9 @@ class QueryService:
                 # Every waiter gave up already: drop the probe entirely.
                 self._m_deadline_dropped.inc()
                 pending.future.set_result(
-                    ServeResponse(DEADLINE_EXCEEDED, pending.key, pending.epoch)
+                    ServeResponse(
+                        DEADLINE_EXCEEDED, pending.key, self._public_epoch(pending.epoch)
+                    )
                 )
             else:
                 live.append(pending)
@@ -554,33 +613,83 @@ class QueryService:
                     trace_id=root.trace_id,
                     parent_id=root.span_id,
                 )
-        by_epoch: dict[int, list[_Pending]] = {}
+        by_epoch: dict = {}
         for pending in live:
             by_epoch.setdefault(pending.epoch, []).append(pending)
-        for epoch, items in by_epoch.items():
+        for token, items in by_epoch.items():
             try:
-                engine = self._engine(epoch)
+                if isinstance(token, tuple):
+                    runner = lambda items=items: self._probe_any(items)  # noqa: E731
+                    epoch_attr = "any"
+                else:
+                    engine = self._engine(token)
+                    runner = lambda e=engine, t=token, i=items: self._probe_group(  # noqa: E731
+                        e, t, i
+                    )
+                    epoch_attr = token
                 roots = [root for p in items for root, _ in p.traced]
                 if roots:
-                    self._probe_traced(engine, epoch, items, roots)
+                    self._probe_traced(runner, items, roots, epoch_attr)
                 else:
-                    self._probe_group(engine, epoch, items)
+                    runner()
             except Exception as e:  # fail this group loudly, keep serving
                 for pending in items:
                     if not pending.future.done():
                         self._finish(
                             pending,
-                            ServeResponse(ERROR, pending.key, epoch, detail=repr(e)),
+                            ServeResponse(
+                                ERROR,
+                                pending.key,
+                                self._public_epoch(token),
+                                detail=repr(e),
+                            ),
                         )
 
     def _probe_group(self, engine, epoch: int, items: list[_Pending]) -> None:
-        if self.store.fmt.name == "filterkv":
-            self._probe_filterkv(engine, epoch, items)
-        else:
-            self._probe_direct(engine, epoch, items)
+        """One live epoch's window: bulk-probe and finish every pending."""
+        keys = np.fromiter((p.key for p in items), dtype=np.uint64, count=len(items))
+        values = self._bulk_values(engine, epoch, keys)
+        for pending, value in zip(items, values):
+            status = OK if value is not None else NOT_FOUND
+            self._finish(pending, ServeResponse(status, pending.key, epoch, value=value))
+
+    def _probe_any(self, items: list[_Pending]) -> None:
+        """Cross-epoch window: walk live epochs newest-first, carrying only
+        still-unanswered keys forward — the serving-tier twin of
+        `MultiEpochStore.lookup_many`, sharing the per-epoch bulk probe
+        (and, for FilterKV, the negative cache) with single-epoch windows.
+        """
+        live = list(self.store.epochs)
+        n = len(items)
+        values: list[bytes | None] = [None] * n
+        where: list[int | None] = [None] * n
+        remaining = list(range(n))
+        for epoch in reversed(live):
+            if not remaining:
+                break
+            engine = self._engine(epoch)
+            keys = np.fromiter(
+                (items[i].key for i in remaining), dtype=np.uint64, count=len(remaining)
+            )
+            vals = self._bulk_values(engine, epoch, keys)
+            still: list[int] = []
+            for i, value in zip(remaining, vals):
+                if value is not None:
+                    values[i] = value
+                    where[i] = epoch
+                else:
+                    still.append(i)
+            remaining = still
+        newest = live[-1] if live else None
+        for i, pending in enumerate(items):
+            if values[i] is not None:
+                response = ServeResponse(OK, pending.key, where[i], value=values[i])
+            else:
+                response = ServeResponse(NOT_FOUND, pending.key, newest)
+            self._finish(pending, response)
 
     def _probe_traced(
-        self, engine, epoch: int, items: list[_Pending], roots: list[ActiveSpan]
+        self, runner, items: list[_Pending], roots: list[ActiveSpan], epoch_attr
     ) -> None:
         """Probe with the window's shared work attributed to spans.
 
@@ -598,10 +707,10 @@ class QueryService:
             counters=self.metrics,
             prefixes=_TRACE_PREFIXES,
             batch=len(items),
-            epoch=epoch,
+            epoch=epoch_attr,
             traced=len(roots),
         ) as bspan:
-            self._probe_group(engine, epoch, items)
+            runner()
         if len(roots) > 1:
             subtree = self.tracer.subtree(bspan.span_id)
             for other in roots[1:]:
@@ -625,39 +734,38 @@ class QueryService:
 
     def _finish(self, pending: _Pending, response: ServeResponse) -> None:
         if response.status in (OK, NOT_FOUND):
-            self._rcache.insert((pending.epoch, pending.key), (response.status, response.value))
+            # The entry keeps the epoch the answer came from, so an
+            # ANY_EPOCH cache hit still reports where the key was found.
+            self._rcache.insert(
+                (pending.epoch, pending.key),
+                (response.status, response.value, response.epoch),
+            )
         if not pending.future.done():
             pending.future.set_result(response)
 
     # -- probe strategies --------------------------------------------------
 
-    def _probe_direct(self, engine, epoch: int, items: list[_Pending]) -> None:
-        """base / dataptr: one owning partition per key.
+    def _bulk_values(self, engine, epoch: int, keys: np.ndarray) -> list[bytes | None]:
+        """One epoch's bulk probe for a window's keys; values align with
+        ``keys`` (None = not in this epoch).
 
-        The whole window rides the engine's bulk read path: one table
-        open per owner partition, keys coalesced per data block.
+        base / dataptr ride the engine's block-coalesced ``get_many``.
+        filterkv resolves aux candidates minus refuted ranks in one
+        vectorized pass per owner partition; ranks then ascend, each
+        rank's survivors probed with one block-coalesced ``get_many``,
+        and a key stops probing at its first hit — so the answers are
+        identical to the sequential engine's candidate walk.  The
+        grouping only changes *when* each table is touched, and the
+        negative cache only removes probes that are known to miss.
+        Physical I/O shared by a group is charged to the group's first
+        request (aggregates stay exact).
         """
-        keys = np.fromiter((p.key for p in items), dtype=np.uint64, count=len(items))
-        values, _ = engine.get_many(keys)
-        for pending, value in zip(items, values):
-            status = OK if value is not None else NOT_FOUND
-            self._finish(pending, ServeResponse(status, pending.key, epoch, value=value))
+        if self.store.fmt.name != "filterkv":
+            values, _ = engine.get_many(keys)
+            return values
 
-    def _probe_filterkv(self, engine, epoch: int, items: list[_Pending]) -> None:
-        """filterkv: aux candidates minus refuted ranks, probed per rank.
-
-        Candidates for the window resolve in one vectorized aux pass per
-        owner partition; ranks then ascend, each rank's survivors probed
-        with one block-coalesced ``get_many``, and a key stops probing at
-        its first hit — so the answers are identical to the sequential
-        engine's candidate walk.  The grouping only changes *when* each
-        table is touched, and the negative cache only removes probes that
-        are known to miss.  Physical I/O shared by a group is charged to
-        the group's first request (aggregates stay exact).
-        """
-        keys = np.fromiter((p.key for p in items), dtype=np.uint64, count=len(items))
         owners = engine.partitioner.partition_of(keys)
-        work = [_FilterWork(p, QueryStats(), []) for p in items]
+        work = [_FilterWork(int(k), QueryStats(), []) for k in keys]
         for owner, pos in engine._groups(owners):
             aux = engine.aux_tables[owner]
             if aux is None:
@@ -671,7 +779,7 @@ class QueryService:
                 w.ranks = [
                     int(r)
                     for r in cand
-                    if not self._negcache.refuted(epoch, w.pending.key, int(r))
+                    if not self._negcache.refuted(epoch, w.key, int(r))
                 ]
 
         by_rank: dict[int, list[_FilterWork]] = {}
@@ -688,9 +796,7 @@ class QueryService:
                 with engine._charged(lead, "data"):
                     vals, _ = reader.get_many(
                         np.fromiter(
-                            (w.pending.key for w in group),
-                            dtype=np.uint64,
-                            count=len(group),
+                            (w.key for w in group), dtype=np.uint64, count=len(group)
                         )
                     )
             finally:
@@ -698,7 +804,7 @@ class QueryService:
             for w, hit in zip(group, vals):
                 w.stats.partitions_searched += 1
                 if hit is None:
-                    self._negcache.add(epoch, w.pending.key, rank)
+                    self._negcache.add(epoch, w.key, rank)
                 else:
                     w.value = hit
                     w.found = True
@@ -706,10 +812,7 @@ class QueryService:
         for w in work:
             w.stats.found = w.found
             engine._observe(w.stats)
-            status = OK if w.found else NOT_FOUND
-            self._finish(
-                w.pending, ServeResponse(status, w.pending.key, epoch, value=w.value)
-            )
+        return [w.value for w in work]
 
     # -- introspection -----------------------------------------------------
 
@@ -737,6 +840,7 @@ class QueryService:
                 "inserts": int(m.total("serve.negative_cache.inserts")),
                 "entries": len(self._negcache),
             },
+            "compactions": getattr(self.store, "compactions", 0),
             "sheds": int(m.total("serve.sheds")),
             "coalesced": int(m.total("serve.coalesced")),
             "batches": int(m.total("serve.batches")),

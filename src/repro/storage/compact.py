@@ -1,0 +1,115 @@
+"""Storage-side primitives for epoch compaction: merge reads and writes.
+
+Compaction k-way-merges the sorted SSTables of several sealed epochs into
+one.  Because every source table is already sorted and `SSTableWriter`
+re-sorts with a *stable* argsort, the merge reduces to array work: read
+each source into columnar arrays, concatenate in newest-epoch-first chunk
+order, and keep the first occurrence of every key — exactly the record the
+pre-compaction read path (newest epoch first, first hit wins) would have
+returned.  The orchestration (which epochs, aux rebuild, manifest swap)
+lives in `repro.core.compact`; this module knows only about tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blockio import StorageDevice
+from .sstable import SSTableWriter, TableStats
+
+__all__ = [
+    "read_table_arrays",
+    "concat_values",
+    "take_values",
+    "first_occurrence",
+    "write_merged_table",
+]
+
+
+def read_table_arrays(
+    device: StorageDevice, name: str
+) -> tuple[np.ndarray, np.ndarray | list[bytes]]:
+    """One source table's full contents as ``(keys, values)`` arrays.
+
+    Opens, streams, and closes the reader — compaction must not leak
+    handles while the store keeps serving.
+    """
+    from .sstable import SSTableReader  # local: avoid import-order knots
+
+    with SSTableReader(device, name) as reader:
+        return reader.scan_arrays()
+
+
+def concat_values(
+    chunks: list[np.ndarray | list[bytes]],
+) -> np.ndarray | list[bytes]:
+    """Concatenate per-table value columns, preserving chunk order.
+
+    Stays a 2-D uint8 matrix when every chunk is fixed-width at the same
+    width (the vectorized merge path); degrades to list[bytes] otherwise.
+    """
+    if not chunks:
+        return np.zeros((0, 0), dtype=np.uint8)
+    mats = [c for c in chunks if isinstance(c, np.ndarray)]
+    if len(mats) == len(chunks):
+        nonempty = [m for m in mats if m.shape[0]]
+        widths = {m.shape[1] for m in nonempty}
+        if len(widths) <= 1:
+            if not nonempty:
+                return mats[0]
+            return nonempty[0] if len(nonempty) == 1 else np.concatenate(nonempty, axis=0)
+    flat: list[bytes] = []
+    for c in chunks:
+        if isinstance(c, np.ndarray):
+            flat.extend(bytes(row) for row in c)
+        else:
+            flat.extend(c)
+    return flat
+
+
+def take_values(
+    values: np.ndarray | list[bytes], idx: np.ndarray
+) -> np.ndarray | list[bytes]:
+    """Row-gather that works on both value representations."""
+    if isinstance(values, np.ndarray):
+        return values[idx]
+    return [values[int(i)] for i in idx]
+
+
+def first_occurrence(keys: np.ndarray) -> np.ndarray:
+    """Winning row per distinct key under first-write-wins.
+
+    Returns indices (in ascending key order) of the *first* occurrence of
+    each key in ``keys``.  Feed it concatenated chunks ordered newest epoch
+    first and the survivors are precisely what the multi-epoch walk serves:
+    the stable argsort keeps equal keys in input order, so position in the
+    concatenation is the tiebreak.
+    """
+    if keys.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    firsts = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+    return order[firsts]
+
+
+def write_merged_table(
+    device: StorageDevice,
+    name: str,
+    keys: np.ndarray,
+    values: np.ndarray | list[bytes],
+    block_size: int,
+) -> TableStats:
+    """Write one merged partition table with the streaming bulk writer.
+
+    Empty inputs still produce a valid (zero-entry) table: every rank must
+    own a table in the merged epoch because aux false positives can name
+    any rank, and the reader opens tables unconditionally for the direct
+    formats.
+    """
+    writer = SSTableWriter(device, name, block_size=block_size)
+    if keys.size:
+        writer.add_many(keys, values)
+    stats = writer.finish()
+    writer.close()
+    return stats

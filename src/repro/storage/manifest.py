@@ -40,20 +40,36 @@ _VERSION = 1
 
 @dataclass(frozen=True)
 class EpochInfo:
-    """One dump epoch's inventory."""
+    """One dump epoch's inventory.
+
+    ``order`` is the epoch's rank in the newest-first read walk.  For
+    ingested epochs it equals the epoch id; a *merged* epoch inherits the
+    order of its newest source, because its data is only as recent as
+    what went into it — its (fresh, high) id says when it was *written*,
+    not how recent its contents are.  Defaults to the epoch id, so
+    manifests from before compaction read back unchanged.
+    """
 
     epoch: int
     records: int
     files: tuple[str, ...]
     bytes: int
+    order: int = -1  # -1: stand-in for "same as epoch"
+
+    def __post_init__(self) -> None:
+        if self.order < 0:
+            object.__setattr__(self, "order", self.epoch)
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "epoch": self.epoch,
             "records": self.records,
             "files": list(self.files),
             "bytes": self.bytes,
         }
+        if self.order != self.epoch:
+            d["order"] = self.order
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "EpochInfo":
@@ -62,28 +78,70 @@ class EpochInfo:
             records=int(d["records"]),
             files=tuple(d["files"]),
             bytes=int(d["bytes"]),
+            order=int(d.get("order", d["epoch"])),
         )
 
 
 @dataclass
 class Manifest:
-    """Complete description of a persisted dataset."""
+    """Complete description of a persisted dataset.
+
+    ``next_epoch`` is a monotone id watermark: epoch ids are never reused,
+    even after compaction retires them, so an ``(epoch, key)`` cache entry
+    anywhere in the system can never alias a later epoch.  ``compacted``
+    maps every retired epoch id to the merged epoch that absorbed it.
+    """
 
     fmt: str
     nranks: int
     value_bytes: int
     epochs: list[EpochInfo] = field(default_factory=list)
+    next_epoch: int = 0
+    compacted: dict[int, int] = field(default_factory=dict)
 
     def add_epoch(self, info: EpochInfo) -> None:
         if any(e.epoch == info.epoch for e in self.epochs):
             raise ValueError(f"epoch {info.epoch} already recorded")
+        if info.epoch in self.compacted:
+            raise ValueError(f"epoch id {info.epoch} was retired by compaction")
         self.epochs.append(info)
-        self.epochs.sort(key=lambda e: e.epoch)
+        # Data-recency order, oldest first: ``epochs[-1]`` is always the
+        # epoch holding the newest data (not necessarily the highest id —
+        # a merged epoch's id is fresh but its contents are old).
+        self.epochs.sort(key=lambda e: (e.order, e.epoch))
+        self.next_epoch = max(self.next_epoch, info.epoch + 1)
 
     def remove_epoch(self, epoch: int) -> EpochInfo:
         for i, e in enumerate(self.epochs):
             if e.epoch == epoch:
                 return self.epochs.pop(i)
+        raise KeyError(f"no such epoch {epoch}")
+
+    def note_compaction(self, retired: list[int], merged: int) -> None:
+        """Record that ``retired`` epoch ids were absorbed into ``merged``.
+
+        Earlier retirees whose target is itself being retired are re-pointed
+        at the new merged epoch, so every mapping entry resolves to a live
+        epoch in one hop.
+        """
+        retired_set = set(retired)
+        for old, target in list(self.compacted.items()):
+            if target in retired_set:
+                self.compacted[old] = merged
+        for epoch in retired_set:
+            self.compacted[epoch] = merged
+        self.next_epoch = max(self.next_epoch, merged + 1)
+
+    def resolve_epoch(self, epoch: int) -> int:
+        """The live epoch serving ``epoch``'s data (identity if still live)."""
+        seen = 0
+        while epoch in self.compacted:
+            epoch = self.compacted[epoch]
+            seen += 1
+            if seen > len(self.compacted):  # defensive: corrupt mapping
+                raise KeyError(f"compaction mapping cycles at epoch {epoch}")
+        if any(e.epoch == epoch for e in self.epochs):
+            return epoch
         raise KeyError(f"no such epoch {epoch}")
 
     @property
@@ -103,6 +161,8 @@ class Manifest:
             "nranks": self.nranks,
             "value_bytes": self.value_bytes,
             "epochs": [e.to_dict() for e in self.epochs],
+            "next_epoch": self.next_epoch,
+            "compacted": {str(k): v for k, v in sorted(self.compacted.items())},
         }
         return json.dumps(doc, indent=1, sort_keys=True).encode()
 
@@ -117,8 +177,13 @@ class Manifest:
         m = cls(
             fmt=doc["format"], nranks=int(doc["nranks"]), value_bytes=int(doc["value_bytes"])
         )
+        # `compacted` first: add_epoch refuses ids the mapping has retired.
+        m.compacted = {int(k): int(v) for k, v in doc.get("compacted", {}).items()}
         for e in doc["epochs"]:
             m.add_epoch(EpochInfo.from_dict(e))
+        # Manifests from before compaction carry no watermark; derive one.
+        retired_cap = max(m.compacted, default=-1) + 1
+        m.next_epoch = max(m.next_epoch, retired_cap, int(doc.get("next_epoch", 0)))
         return m
 
     # -- atomic commit -----------------------------------------------------
@@ -149,7 +214,8 @@ class Manifest:
         """
         gens = self._scan_generations(device)
         seq = (gens[0][0] + 1) if gens else 1
-        device.open(self._generation_name(seq), create=True).append(seal(self.to_bytes()))
+        with device.open(self._generation_name(seq), create=True) as f:
+            f.append(seal(self.to_bytes()))
         for old_seq, name in gens[_KEEP_GENERATIONS - 1 :]:
             device.delete(name)
         if device.exists(MANIFEST_NAME):

@@ -316,6 +316,10 @@ class SSTableWriter:
             index_bytes=len(index_blob),
         )
 
+    def close(self) -> None:
+        """Release the output extent handle (idempotent; after `finish`)."""
+        self._file.close()
+
 
 class SSTableReader:
     """Reads point queries out of a finished SSTable.
@@ -617,6 +621,47 @@ class SSTableReader:
                 return None
             pos += vlen
         return None
+
+    def scan_arrays(self) -> tuple[np.ndarray, np.ndarray | list[bytes]]:
+        """Full table contents as columnar arrays, in stored key order.
+
+        Returns ``(keys, values)`` where values is a ``(n, width)`` uint8
+        matrix when every entry has the same width (the compaction merge
+        fast path), else a list[bytes].  Blocks stream through the block
+        cache one at a time, so peak memory is the decoded output plus one
+        block.
+        """
+        key_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray | list[bytes]] = []
+        widths: set[int] = set()
+        for i in range(self._off.size):
+            bkeys, voffs, vlens, body = self._parsed_block(i)
+            if bkeys.size == 0:
+                continue
+            key_parts.append(bkeys)
+            buf = np.frombuffer(body, dtype=np.uint8)
+            if (vlens == vlens[0]).all():
+                w = int(vlens[0])
+                widths.add(w)
+                val_parts.append(buf[voffs[:, None] + np.arange(w, dtype=np.int64)])
+            else:
+                widths.add(-1)
+                val_parts.append(
+                    [body[int(o) : int(o) + int(n)] for o, n in zip(voffs, vlens)]
+                )
+        if not key_parts:
+            return np.zeros(0, dtype=np.uint64), np.zeros((0, 0), dtype=np.uint8)
+        keys = key_parts[0] if len(key_parts) == 1 else np.concatenate(key_parts)
+        if len(widths) == 1 and -1 not in widths:
+            mats = [np.asarray(p, dtype=np.uint8) for p in val_parts]
+            return keys, mats[0] if len(mats) == 1 else np.concatenate(mats, axis=0)
+        flat: list[bytes] = []
+        for part in val_parts:
+            if isinstance(part, np.ndarray):
+                flat.extend(bytes(row) for row in part)
+            else:
+                flat.extend(part)
+        return keys, flat
 
     def scan(self) -> list[tuple[int, bytes]]:
         """Full scan in key order (test/verification helper)."""

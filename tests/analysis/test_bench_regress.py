@@ -73,6 +73,42 @@ def test_relative_only_ignores_absolute_qps(tmp_path):
     assert _run(*args, "--relative-only").returncode == 0
 
 
+def _amp_doc(amplification: float, qps: float = 1_000.0) -> dict:
+    return {
+        "schema": "repro.bench/v1",
+        "bench": "compact",
+        "rows_detailed": [
+            {
+                "format": "filterkv",
+                "arm": "compacted",
+                "read_amplification": amplification,
+                "cold_lookups_per_s": qps,
+            }
+        ],
+    }
+
+
+def test_amplification_growth_fails_the_gate(tmp_path):
+    """``amplification`` metrics gate in the *lower-is-better* direction:
+    growth is the regression, shrinkage the improvement."""
+    _write(tmp_path / "base", "compact", _amp_doc(1.1))
+    _write(tmp_path / "cur", "compact", _amp_doc(1.1 * 1.4))  # reads grew 40%
+    args = ("--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "cur"))
+    p = _run(*args)
+    assert p.returncode == 1, p.stdout + p.stderr
+    assert "read_amplification" in p.stdout and "REGRESSED" in p.stdout
+    # Relative-only mode (CI) still gates it: amplification is dimensionless.
+    assert _run(*args, "--relative-only").returncode == 1
+
+
+def test_amplification_shrinkage_is_an_improvement(tmp_path):
+    _write(tmp_path / "base", "compact", _amp_doc(2.0))
+    _write(tmp_path / "cur", "compact", _amp_doc(1.2))
+    p = _run("--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "cur"))
+    assert p.returncode == 0, p.stdout + p.stderr
+    assert "improved" in p.stdout and "read_amplification" in p.stdout
+
+
 def test_new_and_missing_benches_warn_but_do_not_fail(tmp_path):
     _write(tmp_path / "base", "serve", _doc(50_000, 12.0))
     _write(tmp_path / "base", "gone", _doc(10_000, 2.0))
@@ -98,11 +134,12 @@ def test_committed_smoke_baselines_load(tmp_path):
         sys.path.pop(0)
     baseline_dir = SCRIPT.parent.parent / "benchmarks" / "results" / "baseline_smoke"
     loaded = cbr.load_dir(baseline_dir)
-    assert {"serve", "query", "ingest"} <= set(loaded)
+    assert {"serve", "query", "ingest", "compact"} <= set(loaded)
     for bench, metrics in loaded.items():
         assert metrics, f"{bench} baseline has no throughput metrics"
     # Relative metrics exist for --relative-only mode to gate on.
     assert any("speedup" in k for k in loaded["serve"])
+    assert any("amplification" in k for k in loaded["compact"])
 
 
 def test_extraction_identity_keys_are_order_stable(tmp_path):
