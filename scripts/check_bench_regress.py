@@ -8,8 +8,9 @@ metric regresses by more than ``--threshold`` (default 20 %).
 Metric discovery is structural, not per-bench: the checker walks every
 JSON value recursively and treats a numeric field as throughput when its
 key matches ``qps|_per_s|_per_sec|per_s$|speedup`` (higher is better) or
-as a cost when it matches ``amplification`` (lower is better — growth
-beyond the threshold fails the gate, shrinkage is an improvement).
+as a cost when it matches ``amplification``, ``bits_per_key``, or
+``partitions_per_query`` (lower is better — growth beyond the threshold
+fails the gate, shrinkage is an improvement).
 Latency-style fields are deliberately ignored — quantiles at smoke scale
 are too noisy to gate on, and throughput regressions drag latency along
 anyway.
@@ -45,10 +46,16 @@ import re
 import sys
 
 THROUGHPUT_RE = re.compile(r"(qps|_per_s(ec)?$|per_s$|per_sec$|speedup)", re.IGNORECASE)
-RELATIVE_RE = re.compile(r"(speedup|reduction|ratio|amplification)", re.IGNORECASE)
+RELATIVE_RE = re.compile(
+    r"(speedup|reduction|ratio|amplification|bits_per_key|partitions_per_query)",
+    re.IGNORECASE,
+)
 # Cost-style metrics where growth is the regression (read amplification
-# after compaction, etc.).  Dimensionless, so always relative-safe.
-LOWER_BETTER_RE = re.compile(r"amplification", re.IGNORECASE)
+# after compaction, aux-table space and query fan-out, etc.).  Per-key /
+# per-query, so machine-independent and always relative-safe.
+LOWER_BETTER_RE = re.compile(
+    r"(amplification|bits_per_key|partitions_per_query)", re.IGNORECASE
+)
 # Fields that identify a row within a list, in precedence order.
 IDENTITY_FIELDS = ("format", "arm", "config", "mode", "name", "machine")
 

@@ -68,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="point queries sampled per format for read-path metrics "
         "(only with --metrics-out)",
     )
+    c.add_argument(
+        "--aux-backend",
+        default=None,
+        help="filterkv aux backend: a registered backend name (exact, bloom, "
+        "cuckoo, quotient, xor, csf, rankxor) or 'auto' for the flush-time "
+        "backend tournament (default: the format's static choice, cuckoo)",
+    )
 
     m = sub.add_parser("metrics", help="run an instrumented simulation, emit telemetry")
     m.add_argument(
@@ -275,13 +282,13 @@ def _cmd_table1() -> str:
     return render_table(["rank", "machine", "cores", "b2 B/key", "b10 B/key"], rows)
 
 
-def _instrumented_run(fmt, ranks, records, value_bytes, seed, queries):
+def _instrumented_run(fmt, ranks, records, value_bytes, seed, queries, aux_policy=None):
     """One epoch (plus a query sample) with telemetry on.
 
-    Returns ``(registry, cluster_stats)``.  The registry holds every series
-    the run produced — pipeline, aux/filter, storage, reader — including
-    compression counters, which flow through the process-wide default
-    registry installed for the duration of the run.
+    Returns ``(registry, cluster_stats, cluster)``.  The registry holds
+    every series the run produced — pipeline, aux/filter, storage, reader —
+    including compression counters, which flow through the process-wide
+    default registry installed for the duration of the run.
     """
     from .cluster.simcluster import SimCluster
     from .core.kv import random_kv_batch
@@ -296,6 +303,7 @@ def _instrumented_run(fmt, ranks, records, value_bytes, seed, queries):
             value_bytes=value_bytes,
             records_hint=ranks * records,
             seed=seed,
+            aux_policy=aux_policy,
             metrics=registry,
         )
         # Same generation loop as SimCluster.run_epoch (one seeded stream,
@@ -325,12 +333,15 @@ def _instrumented_run(fmt, ranks, records, value_bytes, seed, queries):
                 engine.get(int(pool[(i * 37) % len(pool)]))
     finally:
         set_default_registry(prev)
-    return registry, st
+    return registry, st, cluster
 
 
 def _cmd_compare(args) -> str:
+    import dataclasses
+
     from .analysis.reporting import render_table
     from .cluster.simcluster import SimCluster
+    from .core.auxtable import AUX_BACKENDS, AuxBackendPolicy
     from .core.formats import FMT_BASE, FMT_DATAPTR, FMT_FILTERKV
 
     metrics_out = getattr(args, "metrics_out", None)
@@ -340,11 +351,33 @@ def _cmd_compare(args) -> str:
 
         merged = MetricsRegistry("compare")
 
+    # Filterkv aux-backend selection: a fixed registered backend, or
+    # 'auto' = the flush-time tournament (AuxBackendPolicy) picking per
+    # epoch from the sealed key set.
+    choice = getattr(args, "aux_backend", None)
+    fmt_filterkv, aux_policy = FMT_FILTERKV, None
+    if choice == "auto":
+        aux_policy = AuxBackendPolicy()
+    elif choice is not None:
+        if choice not in AUX_BACKENDS:
+            raise SystemExit(
+                f"unknown aux backend {choice!r}; pick one of "
+                f"{sorted(AUX_BACKENDS)} or 'auto'"
+            )
+        fmt_filterkv = dataclasses.replace(FMT_FILTERKV, aux_backend=choice)
+
     rows = []
-    for fmt in (FMT_BASE, FMT_DATAPTR, FMT_FILTERKV):
+    for fmt in (FMT_BASE, FMT_DATAPTR, fmt_filterkv):
+        policy = aux_policy if fmt.name == "filterkv" else None
         if merged is not None:
-            registry, st = _instrumented_run(
-                fmt, args.ranks, args.records, args.value_bytes, args.seed, args.queries
+            registry, st, cluster = _instrumented_run(
+                fmt,
+                args.ranks,
+                args.records,
+                args.value_bytes,
+                args.seed,
+                args.queries,
+                aux_policy=policy,
             )
             merged.merge(registry, format=fmt.name)
         else:
@@ -354,11 +387,13 @@ def _cmd_compare(args) -> str:
                 value_bytes=args.value_bytes,
                 records_hint=args.ranks * args.records,
                 seed=args.seed,
+                aux_policy=policy,
             )
             st = cluster.run_epoch(args.records)
         rows.append(
             [
                 fmt.name,
+                cluster.aux_backends() or "-",
                 st.rpc_messages,
                 round(st.shuffle_bytes_per_record, 2),
                 round(st.storage_bytes_per_record, 2),
@@ -366,7 +401,7 @@ def _cmd_compare(args) -> str:
             ]
         )
     out = render_table(
-        ["format", "msgs", "net B/rec", "disk B/rec", "aux B/key"],
+        ["format", "aux", "msgs", "net B/rec", "disk B/rec", "aux B/key"],
         rows,
         title=f"{args.ranks} ranks × {args.records} records × "
         f"{8 + args.value_bytes} B KV pairs",
@@ -389,7 +424,7 @@ def _cmd_metrics(args) -> str:
     formats = list(by_name.values()) if args.fmt == "all" else [by_name[args.fmt]]
     merged = MetricsRegistry("metrics")
     for fmt in formats:
-        registry, _ = _instrumented_run(
+        registry, _, _ = _instrumented_run(
             fmt, args.ranks, args.records, args.value_bytes, args.seed, args.queries
         )
         merged.merge(registry, format=fmt.name)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.auxtable import AuxBackendPolicy
 from ..core.formats import FMT_FILTERKV, FormatSpec
 from ..core.kv import KVBatch, random_kv_batch
 from ..core.partitioning import HashPartitioner
@@ -77,6 +78,7 @@ class SimCluster:
         spill_budget_bytes: int | None = None,
         bulk: bool = True,
         defer_aux: bool = False,
+        aux_policy: AuxBackendPolicy | None = None,
         faults: FaultPlan | None = None,
         metrics: MetricsRegistry | None = None,
     ):
@@ -94,6 +96,7 @@ class SimCluster:
         self.seed = seed
         self.bulk = bulk
         self.defer_aux = defer_aux
+        self.aux_policy = aux_policy
         self.metrics = active(metrics)
         if device is not None:
             self.device = device
@@ -137,6 +140,7 @@ class SimCluster:
                 aux_seed=self.seed,
                 bulk=self.bulk,
                 defer_aux=self.defer_aux,
+                aux_policy=self.aux_policy,
                 metrics=self.metrics,
             )
             for r in range(self.nranks)
@@ -257,6 +261,13 @@ class SimCluster:
             aux_bytes=aux,
             local_messages=self.router.local_messages,
         )
+
+    def aux_backends(self) -> str | None:
+        """The aux backend(s) this epoch's partitions sealed with — one name
+        when uniform (the common case), comma-joined when the flush-time
+        policy picked differently per rank.  None for formats without aux."""
+        names = sorted({r.aux.backend for r in self.receivers if r.aux is not None})
+        return ",".join(names) if names else None
 
     def metrics_rollup(self) -> MetricsRegistry:
         """Cluster-wide view of the per-rank series (``rank`` label

@@ -47,7 +47,7 @@ from ..storage.compact import (
 )
 from ..storage.envelope import seal
 from ..storage.manifest import EpochInfo, Manifest
-from .auxtable import aux_to_blob, make_aux_table
+from .auxtable import aux_to_blob, build_sealed_aux
 from .pipeline import aux_table_name, main_table_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -163,6 +163,7 @@ class Compactor:
         order_of = {e.epoch: e.order for e in working.epochs}
         newest_first = sorted(epochs, key=lambda e: order_of[e], reverse=True)
         bytes_before = self.device.total_bytes_stored()
+        self._aux_backends_used = set()
 
         if store.fmt.name == "filterkv":
             records_out = self._merge_filterkv(newest_first, merged)
@@ -193,6 +194,7 @@ class Compactor:
                 # it must sit where that source sat in the read walk, not
                 # at the front where its fresh id would put it.
                 order=max(order_of[e] for e in epochs),
+                aux_backend=",".join(sorted(self._aux_backends_used)) or None,
             )
         )
         working.note_compaction(epochs, merged)
@@ -315,21 +317,30 @@ class Compactor:
         # Fresh aux tables on the hash owners, seeded exactly as an
         # ingest-time epoch would be (store seed + epoch + rank), then
         # sealed — torn blobs are detected at recovery like any other.
+        # With a flush-time aux policy the merged epoch re-runs the backend
+        # tournament on its (merged, deduplicated) key set; mixed-backend
+        # source epochs thus converge on one winner after compaction.
         from .partitioning import HashPartitioner
 
+        aux_policy = getattr(store, "aux_policy", None)
         owners = HashPartitioner(store.nranks).partition_of(wkeys)
         for part in range(store.nranks):
             sel = np.flatnonzero(owners == part)
-            aux = make_aux_table(
-                store.fmt.aux_backend or "cuckoo",
+            if aux_policy is not None:
+                backends = aux_policy.rank_backends(int(sel.size), store.nranks, epoch=merged)
+            else:
+                backends = [store.fmt.aux_backend or "cuckoo"]
+            aux = build_sealed_aux(
+                wkeys[sel],
+                wranks[sel].astype(np.uint64),
                 nparts=store.nranks,
+                backends=backends,
                 capacity_hint=max(1, int(sel.size)),
                 seed=store.seed + merged + part,
                 metrics=self.metrics,
                 metric_labels={"rank": str(part)},
             )
-            if sel.size:
-                aux.insert_many(wkeys[sel], wranks[sel].astype(np.uint64))
+            self._aux_backends_used.add(aux.backend)
             aux.record_structure_metrics()
             blob = seal(aux_to_blob(aux))
             with self.device.open(aux_table_name(merged, part), create=True) as f:

@@ -27,7 +27,7 @@ from ..storage.envelope import seal
 from ..storage.log import DataPointer, ValueLog
 from ..storage.memtable import MemTable, RunWriter, flatten_runs
 from ..storage.sstable import SSTableWriter, TableStats
-from .auxtable import AuxTable, aux_to_blob, make_aux_table
+from .auxtable import AuxBackendPolicy, AuxTable, aux_to_blob, build_sealed_aux, make_aux_table
 from .formats import FormatSpec
 from .kv import KEY_BYTES, KVBatch
 from .partitioning import HashPartitioner
@@ -261,6 +261,7 @@ class ReceiverState:
         aux_seed: int = 0,
         bulk: bool = True,
         defer_aux: bool = False,
+        aux_policy: AuxBackendPolicy | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         self.rank = rank
@@ -271,6 +272,9 @@ class ReceiverState:
         self.epoch = epoch
         self.bulk = bulk
         self.defer_aux = defer_aux
+        self.aux_policy = aux_policy
+        self._aux_seed = aux_seed
+        self._capacity_hint = capacity_hint
         self.records_received = 0
         self.metrics = active(metrics)
         self._m_records = self.metrics.counter(
@@ -296,7 +300,7 @@ class ReceiverState:
                 device, main_table_name(epoch, rank), block_size=block_size,
                 vectorized=bulk,
             )
-        else:
+        elif aux_policy is None:
             self.aux = make_aux_table(
                 fmt.aux_backend or "cuckoo",
                 nparts=nranks,
@@ -305,6 +309,9 @@ class ReceiverState:
                 metrics=self.metrics,
                 metric_labels={"rank": str(rank)},
             )
+        # With an `aux_policy` the backend is chosen at flush time from the
+        # sealed mapping set (the tournament), so the burst only buffers —
+        # `self.aux` materializes in `finish`.
 
     def deliver(self, env: Envelope) -> None:
         """Decode one batch into the partition's tables.
@@ -344,7 +351,7 @@ class ReceiverState:
                     self._table.add(int(keys[i]), ptr.pack())
         else:
             keys = raw.reshape(env.nrecords, KEY_BYTES).copy().view("<u8").ravel()
-            if self.defer_aux:
+            if self.defer_aux or self.aux_policy is not None:
                 self._aux_pending.append((keys.astype(np.uint64), env.src))
             else:
                 # Per-envelope streaming insert — identical in bulk and
@@ -365,11 +372,40 @@ class ReceiverState:
         self._aux_pending.clear()
         self.aux.insert_many(keys, srcs)
 
+    def _build_aux_by_policy(self) -> None:
+        """Flush-time tournament: rank backends on the sealed mapping set
+        and build the cheapest one that fits (`build_sealed_aux` falls back
+        when a static construction refuses)."""
+        if self._aux_pending:
+            keys = np.concatenate([k for k, _ in self._aux_pending])
+            srcs = np.concatenate(
+                [np.full(k.size, s, dtype=np.uint64) for k, s in self._aux_pending]
+            )
+            self._aux_pending.clear()
+        else:
+            keys = np.zeros(0, dtype=np.uint64)
+            srcs = np.zeros(0, dtype=np.uint64)
+        backends = self.aux_policy.rank_backends(keys.size, self.nranks, epoch=self.epoch)
+        self.aux = build_sealed_aux(
+            keys,
+            srcs,
+            nparts=self.nranks,
+            backends=backends,
+            capacity_hint=self._capacity_hint,
+            seed=self._aux_seed + self.rank,
+            metrics=self.metrics,
+            metric_labels={"rank": str(self.rank)},
+        )
+
     def finish(self) -> TableStats | None:
         """Persist the partition's table (or aux blob) to storage."""
         if self._table is not None:
             return self._table.finish()
-        self._build_aux()
+        if self.aux_policy is not None:
+            self._build_aux_by_policy()
+        else:
+            self._build_aux()
+        self.aux.finalize()
         self.aux.record_structure_metrics()
         # Sealed self-describing blob: a crash mid-append leaves a torn seal
         # that recovery detects, and a complete one reloads the table exactly.

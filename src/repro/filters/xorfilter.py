@@ -51,6 +51,24 @@ class XorFilter:
                 return
         raise XorConstructionError(f"peeling failed after {max_tries} seeds")
 
+    @classmethod
+    def from_state(cls, slots: np.ndarray, nkeys: int, fp_bits: int, seed: int) -> "XorFilter":
+        """Rebuild a filter from its persisted slot array (no re-peeling).
+
+        ``seed`` must be the *final* seed the build settled on (the one the
+        instance reports), not the seed the build started from.
+        """
+        slots = np.asarray(slots, dtype=np.uint32).ravel()
+        if slots.size % 3:
+            raise ValueError(f"slot array length {slots.size} is not 3 segments")
+        f = object.__new__(cls)
+        f.fp_bits = int(fp_bits)
+        f.nkeys = int(nkeys)
+        f._segment = slots.size // 3
+        f.seed = int(seed)
+        f._slots = slots
+        return f
+
     # -- hashing ------------------------------------------------------------
 
     def _positions(self, keys: np.ndarray) -> np.ndarray:

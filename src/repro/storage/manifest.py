@@ -55,6 +55,11 @@ class EpochInfo:
     files: tuple[str, ...]
     bytes: int
     order: int = -1  # -1: stand-in for "same as epoch"
+    # Aux backend(s) this epoch's partitions sealed with (comma-joined when
+    # the flush-time policy picked differently per rank).  None for formats
+    # without aux tables and for manifests from before backend selection —
+    # omitted from the serialized dict so old manifests read back unchanged.
+    aux_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.order < 0:
@@ -69,6 +74,8 @@ class EpochInfo:
         }
         if self.order != self.epoch:
             d["order"] = self.order
+        if self.aux_backend is not None:
+            d["aux_backend"] = self.aux_backend
         return d
 
     @classmethod
@@ -79,6 +86,7 @@ class EpochInfo:
             files=tuple(d["files"]),
             bytes=int(d["bytes"]),
             order=int(d.get("order", d["epoch"])),
+            aux_backend=d.get("aux_backend"),
         )
 
 

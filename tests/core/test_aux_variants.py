@@ -50,9 +50,13 @@ class TestXorAuxTable:
         with pytest.raises(ValueError):
             t.insert_many(keys, ranks)
 
-    def test_empty_finalize_rejected(self):
-        with pytest.raises(ValueError):
-            XorAuxTable(8).finalize()
+    def test_empty_finalize_legal(self):
+        # Compaction can seal a partition that ended up keyless: an empty
+        # table finalizes to an empty (zero-byte) index, not an error.
+        t = XorAuxTable(8)
+        t.finalize()
+        assert len(t) == 0 and t.size_bytes == 0
+        assert t.candidate_ranks(123).size == 0
 
     def test_factory(self):
         t = make_aux_table("xor", nparts=16, fp_bits=12)
