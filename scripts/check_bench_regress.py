@@ -51,10 +51,12 @@ RELATIVE_RE = re.compile(
     re.IGNORECASE,
 )
 # Cost-style metrics where growth is the regression (read amplification
-# after compaction, aux-table space and query fan-out, etc.).  Per-key /
-# per-query, so machine-independent and always relative-safe.
+# after compaction, aux-table space and query fan-out, the fleet
+# router's resident-vs-blob aux memory, etc.).  Per-key / per-query /
+# dimensionless, so machine-independent and always relative-safe.
 LOWER_BETTER_RE = re.compile(
-    r"(amplification|bits_per_key|partitions_per_query)", re.IGNORECASE
+    r"(amplification|bits_per_key|partitions_per_query|aux_bytes_ratio)",
+    re.IGNORECASE,
 )
 # Fields that identify a row within a list, in precedence order.
 IDENTITY_FIELDS = ("format", "arm", "config", "mode", "name", "machine")

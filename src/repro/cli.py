@@ -23,7 +23,14 @@ Commands:
   ``--trace-out``/``--chrome-trace-out`` export the slowest span trees;
 * ``top``      — live dashboard against a running ``repro serve``:
   trailing-window QPS, per-status rates, latency quantiles, and the
-  most recent sampled request traces;
+  most recent sampled request traces; ``--fleet`` renders the router
+  dashboard (per-shard breakers, staleness, aux memory) against a
+  ``repro fleet --serve`` front end;
+* ``fleet``    — sharded serving demo (``repro.fleet``): build an
+  N-shard fleet with R-way replication, drive it through the
+  aux-routing router, kill a shard under load, verify byte-correct
+  answers through failover, recover, and re-verify; ``--serve`` mounts
+  the router behind the TCP front end instead;
 * ``table1``   — print the paper's Table I from the Bloom math;
 * ``machines`` — list the built-in machine models.
 """
@@ -235,6 +242,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t.add_argument("--window", type=float, default=None, help="override the stats window (s)")
     t.add_argument("--traces", type=int, default=2, help="recent traces to show per refresh")
+    t.add_argument(
+        "--fleet",
+        action="store_true",
+        help="render the fleet-router dashboard (per-shard breakers, aux "
+        "staleness, router memory) instead of the single-service one",
+    )
+
+    f = sub.add_parser(
+        "fleet",
+        help="sharded serving demo: aux routing, kill a shard, verify, recover",
+    )
+    f.add_argument("--shards", type=int, default=3)
+    f.add_argument("--rf", type=int, default=2, help="replicas per key (ring owners)")
+    f.add_argument("--ranks", type=int, default=4, help="writer ranks per shard")
+    f.add_argument(
+        "--records", type=int, default=8_000, help="records per epoch (fleet-wide)"
+    )
+    f.add_argument("--epochs", type=int, default=2)
+    f.add_argument("--value-bytes", type=int, default=24)
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--vnodes", type=int, default=64, help="ring vnodes per shard")
+    f.add_argument(
+        "--tcp", action="store_true", help="shards behind real TCP front ends"
+    )
+    f.add_argument("--requests", type=int, default=2_000, help="requests per load burst")
+    f.add_argument("--concurrency", type=int, default=16, help="closed-loop workers")
+    f.add_argument(
+        "--distribution", choices=["zipfian", "uniform"], default="zipfian"
+    )
+    f.add_argument("--theta", type=float, default=1.0, help="Zipfian skew")
+    f.add_argument(
+        "--kill",
+        type=int,
+        default=0,
+        metavar="SHARD",
+        help="shard to crash between bursts (-1 = skip the failure drill)",
+    )
+    f.add_argument(
+        "--aux-backend",
+        default=None,
+        help="filterkv aux backend name, or 'auto' for the flush-time tournament",
+    )
+    f.add_argument("--json-out", metavar="FILE", default=None, help="also write reports as JSON")
+    f.add_argument(
+        "--serve",
+        action="store_true",
+        help="after ingest, mount the router behind the TCP front end and "
+        "serve until Ctrl-C (pairs with `repro top --fleet`)",
+    )
+    f.add_argument("--host", default="127.0.0.1")
+    f.add_argument("--port", type=int, default=0, help="0 = let the OS pick (--serve)")
 
     a = sub.add_parser("advise", help="recommend a format for a deployment")
     a.add_argument("--machine", default="narwhal")
@@ -763,6 +821,212 @@ def _export_loadgen_traces(args, reports: list[dict]) -> str:
     return "\n" + ", ".join(notes)
 
 
+def _fleet_aux_policy(choice: str | None):
+    """``--aux-backend`` for the fleet commands: None (format default),
+    'auto' (flush-time tournament), or one pinned registered backend."""
+    if choice is None:
+        return None
+    from .core.auxtable import AUX_BACKENDS, AuxBackendPolicy
+
+    if choice == "auto":
+        return AuxBackendPolicy()
+    if choice not in AUX_BACKENDS:
+        raise SystemExit(
+            f"unknown aux backend {choice!r}; pick one of "
+            f"{sorted(AUX_BACKENDS)} or 'auto'"
+        )
+    return AuxBackendPolicy(candidates=(choice,))
+
+
+def _build_fleet(args):
+    """Fleet + ingested dataset for the ``fleet`` command.  Returns
+    ``(fleet, keys, expected)`` with ``expected`` holding the newest
+    value per key across every epoch."""
+    from .core.kv import random_kv_batch
+    from .fleet import Fleet, FleetSpec
+
+    spec = FleetSpec(
+        nshards=args.shards,
+        rf=args.rf,
+        nranks=args.ranks,
+        value_bytes=args.value_bytes,
+        seed=args.seed,
+        vnodes=args.vnodes,
+        tcp=args.tcp,
+        aux_policy=_fleet_aux_policy(args.aux_backend),
+        # Pin the shard caches small: epochs are immutable, so a crashed
+        # shard's warm caches keep answering hot keys *correctly* — which
+        # makes the failure drill invisible.  Cold reads must touch the
+        # device, so the crash surfaces and the router's failover shows.
+        service_kwargs=dict(result_cache_entries=16, table_cache_entries=1),
+    )
+    fleet = Fleet(spec)
+    rng = np.random.default_rng(args.seed)
+    expected: dict[int, bytes] = {}
+    for _ in range(args.epochs):
+        batch = random_kv_batch(args.records, args.value_bytes, rng)
+        fleet.ingest(batch)
+        values = np.asarray(batch.values).reshape(len(batch), -1)
+        expected.update(
+            (int(k), bytes(v)) for k, v in zip(batch.keys, values)
+        )
+    keys = np.fromiter(expected, dtype=np.int64)
+    return fleet, keys, expected
+
+
+def _cmd_fleet(args) -> int:
+    import asyncio
+
+    from .serve import ANY_EPOCH, KeySampler, ServeServer, run_load
+
+    fleet, keys, expected = _build_fleet(args)
+    rf = fleet.rf
+    print(
+        f"fleet: {args.shards} shard(s) x {args.ranks} ranks, rf={rf}, "
+        f"{keys.size:,} keys across {args.epochs} epoch(s)"
+    )
+
+    async def serve_forever() -> None:
+        async with fleet:
+            async with ServeServer(
+                fleet.router, host=args.host, port=args.port
+            ) as server:
+                print(
+                    f"fleet router serving {keys.size:,} keys on "
+                    f"{server.host}:{server.port} (Ctrl-C to stop; "
+                    f"`repro top --fleet --port {server.port}` to watch)",
+                    flush=True,
+                )
+                await server.serve_forever()
+
+    def burst_line(label: str, report) -> str:
+        lat = report.latency_ms
+        return (
+            f"{label}: {report.requests} reqs, {report.qps:,.0f} qps, "
+            f"p50={lat['p50']:.3f}ms p99={lat['p99']:.3f}ms, "
+            f"bad={report.incorrect}/{report.checked}"
+        )
+
+    async def drill() -> list[dict]:
+        reports = []
+
+        def sampler(phase: int) -> KeySampler:
+            # A fresh hot set per burst: with one seed throughout, the
+            # degraded burst replays burst 1's keys and the shards' result
+            # caches absorb the crash — correct, but nothing fails over.
+            return KeySampler(
+                keys,
+                distribution=args.distribution,
+                theta=args.theta,
+                seed=args.seed + 7919 * phase,
+            )
+
+        load_kwargs = dict(
+            mode="closed",
+            concurrency=args.concurrency,
+            epoch=ANY_EPOCH,
+            expected=expected,
+        )
+        async with fleet:
+            router = fleet.router
+            rep = await run_load(router, sampler(0), args.requests, **load_kwargs)
+            reports.append({"phase": "healthy", "report": rep.to_dict()})
+            st = router.stats()
+            print(burst_line("healthy   ", rep))
+            print(
+                f"            routed by aux: {st['aux_routed']}, scatter: "
+                f"{st['scatter']}, router memory: {st['aux_resident_bytes']:,} B "
+                f"resident / {st['aux_blob_bytes']:,} B sealed blobs"
+            )
+            if args.kill >= 0:
+                if args.kill not in fleet.shards:
+                    raise SystemExit(
+                        f"--kill {args.kill}: no such shard (0..{args.shards - 1})"
+                    )
+                print(f"\n** crashing shard {args.kill} under load **")
+                fleet.crash_shard(args.kill)
+                rep = await run_load(router, sampler(1), args.requests, **load_kwargs)
+                reports.append({"phase": "degraded", "report": rep.to_dict()})
+                st = router.stats()
+                print(burst_line("degraded  ", rep))
+                print(
+                    f"            failovers: {st['failovers']}, retries: "
+                    f"{st['retries']}, breaker skips: {st['breaker_skips']}, "
+                    f"breakers: {st['breakers']}"
+                )
+                await fleet.recover_shard(args.kill)
+                node = fleet.shards[args.kill]
+                print(
+                    f"recovered shard {args.kill}: "
+                    f"{node.last_recovery.summary().splitlines()[0]}"
+                )
+                rep = await run_load(router, sampler(2), args.requests, **load_kwargs)
+                reports.append({"phase": "recovered", "report": rep.to_dict()})
+                print(burst_line("recovered ", rep))
+                print(
+                    f"            breakers: {router.stats()['breakers']}"
+                )
+            rolled = fleet.rollup()
+            print(
+                f"\nfleet totals: {int(rolled.total('fleet.requests')):,} shard "
+                f"requests served for "
+                f"{int(fleet.merged_metrics().total('fleet.router.requests')):,} "
+                "routed queries"
+            )
+            bad = sum(r["report"]["incorrect"] for r in reports)
+            checked = sum(r["report"]["checked"] for r in reports)
+            print(f"verification: {checked - bad}/{checked} answers byte-correct")
+        return reports
+
+    try:
+        if args.serve:
+            asyncio.run(serve_forever())
+            return 0
+        reports = asyncio.run(drill())
+    except KeyboardInterrupt:
+        print("\nstopped")
+        return 0
+    if args.json_out:
+        import json
+        import pathlib
+
+        pathlib.Path(args.json_out).write_text(json.dumps(reports, indent=2) + "\n")
+        print(f"reports -> {args.json_out}")
+    bad = sum(r["report"]["incorrect"] for r in reports)
+    return 1 if bad else 0
+
+
+def _render_fleet_top_frame(live: dict, stats: dict, where: str) -> str:
+    """One dashboard frame for ``repro top --fleet`` (pure: testable
+    without a TTY)."""
+    lat = live.get("latency_ms", {})
+    counts = live.get("counts", {})
+    rates = live.get("rates_per_s", {})
+    lines = [
+        f"repro top — fleet router @ {where}  (trailing {live.get('window_s', '?')}s)",
+        f"  qps {live.get('qps', 0):>10,.1f}   "
+        f"aux memory {live.get('aux_resident_bytes', 0):,} B resident / "
+        f"{live.get('aux_blob_bytes', 0):,} B blobs",
+        "  status   " + "  ".join(
+            f"{s}={counts.get(s, 0)} ({rates.get(s, 0.0):,.1f}/s)" for s in counts
+        ),
+        f"  latency  p50 {lat.get('p50', 0.0):.3f}ms  p95 {lat.get('p95', 0.0):.3f}ms  "
+        f"p99 {lat.get('p99', 0.0):.3f}ms  max {lat.get('max', 0.0):.3f}ms",
+        f"  routing  aux {stats.get('aux_routed', 0)}  scatter {stats.get('scatter', 0)}  "
+        f"failovers {stats.get('failovers', 0)}  hedges {stats.get('hedges', 0)}  "
+        f"stale {stats.get('stale_detected', 0)}  "
+        f"refreshes {stats.get('aux_refreshes', 0)}",
+    ]
+    for sid, shard in sorted(live.get("shards", {}).items()):
+        stale = shard.get("stale")
+        lines.append(
+            f"  shard {sid}  breaker {shard.get('breaker', '?'):9s} "
+            f"view {'stale' if stale else 'none ' if stale is None else 'fresh'} "
+            f"epochs {shard.get('epochs', [])}"
+        )
+    return "\n".join(lines)
+
+
 def _render_top_frame(live: dict, stats: dict, traces: list[list[dict]], where: str) -> str:
     """One dashboard frame for ``repro top`` (pure: testable without a TTY)."""
     from .obs import render_tree, span_from_dict
@@ -807,8 +1071,11 @@ def _cmd_top(args) -> int:
             while True:
                 live = await client.stats_live(window_s=args.window)
                 stats = await client.stats()
-                traces = await client.traces(args.traces) if args.traces > 0 else []
-                print(_render_top_frame(live, stats, traces[-args.traces :], where))
+                if args.fleet or live.get("format") == "fleet":
+                    print(_render_fleet_top_frame(live, stats, where))
+                else:
+                    traces = await client.traces(args.traces) if args.traces > 0 else []
+                    print(_render_top_frame(live, stats, traces[-args.traces :], where))
                 i += 1
                 if args.iterations and i >= args.iterations:
                     return
@@ -861,6 +1128,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_compact(args))
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "fleet":
+        return _cmd_fleet(args)
     elif args.command == "loadgen":
         print(_cmd_loadgen(args))
     elif args.command == "top":

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..filters.hashing import hash64
+from ..filters.hashing import MASK64, hash64, hash64_int
 
 __all__ = ["HashPartitioner"]
 
@@ -31,7 +31,9 @@ class HashPartitioner:
         return (h % np.uint64(self.nparts)).astype(np.int64)
 
     def partition_of_one(self, key: int) -> int:
-        return int(self.partition_of(np.asarray([key], dtype=np.uint64))[0])
+        # Scalar arithmetic, not a one-element array: the router consults
+        # this per request, where array dispatch dominates the hash.
+        return hash64_int(int(key) & MASK64, self.seed) % self.nparts
 
     def split(self, keys: np.ndarray) -> list[np.ndarray]:
         """Index arrays grouping ``keys`` by destination partition.

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .hashing import fingerprint, hash64
+from .hashing import MASK64, fingerprint, hash64, splitmix64_int
 
 __all__ = [
     "CuckooTableFull",
@@ -135,6 +135,14 @@ class PartialKeyCuckooTable:
         else:
             self._alt_lut = None
             self._alt_lut_list = None
+        # Scalar probe constants (plain Python ints): the serving tier and
+        # the fleet router probe one key per request, where per-call array
+        # overhead dwarfs the hashing itself.
+        self._mask_int = self.nbuckets - 1
+        self._fp_span = (1 << self.fp_bits) - 1
+        self._seed_mix = splitmix64_int(self.seed & MASK64)
+        self._fp_seed_mix = splitmix64_int((self.seed + 0x5BD1) & MASK64)
+        self._alt_seed_mix = splitmix64_int((self.seed + 0xA17) & MASK64)
 
     # -- addressing -------------------------------------------------------
 
@@ -313,15 +321,38 @@ class PartialKeyCuckooTable:
         match = (slot_fps == fps[:, None]) & (slot_fps != _EMPTY)
         return slot_vals, match
 
+    def candidate_values_scalar(self, key: int) -> list[int]:
+        """Sorted distinct candidate values for one key, as plain ints.
+
+        Bit-identical to `candidate_values` (same fingerprint, bucket, and
+        alternate-bucket arithmetic) but with no array allocation on the
+        way: this is what a router claim or a single served probe costs.
+        """
+        k = int(key) & MASK64
+        fp = (splitmix64_int(k ^ self._fp_seed_mix) % self._fp_span) + 1
+        b1 = splitmix64_int(k ^ self._seed_mix) & self._mask_int
+        if self._alt_lut_list is not None:
+            b2 = b1 ^ self._alt_lut_list[fp]
+        else:
+            b2 = b1 ^ (splitmix64_int((fp & MASK64) ^ self._alt_seed_mix) & self._mask_int)
+        out = set()
+        fps, vals = self._fps, self._vals
+        for b in (b1,) if b1 == b2 else (b1, b2):
+            frow = fps[b]
+            for j in range(self.slots_per_bucket):
+                if int(frow[j]) == fp:
+                    out.add(int(vals[b, j]))
+        return sorted(out)
+
     def candidate_values(self, key: int) -> np.ndarray:
         """Sorted distinct candidate values for one key."""
-        vals, match = self.lookup_many(np.asarray([key], dtype=np.uint64))
-        return np.unique(vals[0][match[0]])
+        return np.asarray(self.candidate_values_scalar(key), dtype=np.uint32)
 
     def contains(self, key: int) -> bool:
         """Membership test (any slot with a matching fingerprint)."""
-        _, match = self.lookup_many(np.asarray([key], dtype=np.uint64))
-        return bool(match.any())
+        # A match always contributes a value, so "any candidates" is
+        # exactly "any slot with a matching fingerprint".
+        return bool(self.candidate_values_scalar(key))
 
     def delete(self, key: int) -> bool:
         """Remove one entry matching the key's fingerprint, if present."""
@@ -476,8 +507,10 @@ class ChainedCuckooTable:
 
     def candidate_values(self, key: int) -> np.ndarray:
         """Distinct candidate values across every chained table."""
-        parts = [t.candidate_values(key) for t in self.tables]
-        return np.unique(np.concatenate(parts)) if parts else np.zeros(0, dtype=np.uint32)
+        out: set[int] = set()
+        for t in self.tables:
+            out.update(t.candidate_values_scalar(key))
+        return np.asarray(sorted(out), dtype=np.uint32)
 
     def candidates_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized candidate sets for a whole key array.

@@ -10,7 +10,19 @@ format, `cache` for the invalidation-by-versioning story.
 
 from .cache import LRUCache, NegativeCache
 from .loadgen import KeySampler, LoadReport, run_load
-from .proto import InprocClient, ServeServer, TCPClient
+from .proto import (
+    ERR_BAD_REQUEST,
+    ERR_CLOSED,
+    ERR_INTERNAL,
+    ERR_UNKNOWN_EPOCH,
+    ERR_UNKNOWN_OP,
+    ERR_UNSUPPORTED_VERSION,
+    PROTO_VERSION,
+    InprocClient,
+    ServeServer,
+    TCPClient,
+    error_frame,
+)
 from .service import (
     ANY_EPOCH,
     DEADLINE_EXCEEDED,
@@ -39,4 +51,12 @@ __all__ = [
     "OVERLOADED",
     "DEADLINE_EXCEEDED",
     "ERROR",
+    "PROTO_VERSION",
+    "error_frame",
+    "ERR_UNKNOWN_OP",
+    "ERR_UNSUPPORTED_VERSION",
+    "ERR_BAD_REQUEST",
+    "ERR_UNKNOWN_EPOCH",
+    "ERR_CLOSED",
+    "ERR_INTERNAL",
 ]

@@ -278,10 +278,16 @@ async def run_load(
             delay = next_at - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            # Enqueue time: the request exists now; it is *sent* when its
-            # task first runs.  The gap is client-side queueing, kept out
-            # of the latency quantiles and reported as queue_ms.
-            tasks.append(loop.create_task(issue(keys[i], time.perf_counter())))
+            # Enqueue time is the *scheduled* arrival, not "now": at high
+            # client counts the generator loop itself falls behind its
+            # Poisson schedule (task creation and sleep overshoot
+            # accumulate), and stamping perf_counter() here would silently
+            # fold that lag out of queue_ms — understating queue wait by
+            # exactly the amount the generator drifted.  Anchor the stamp
+            # to the schedule instead: convert the loop-clock lag into the
+            # perf_counter timebase the latency math uses.
+            lag = max(0.0, loop.time() - next_at)
+            tasks.append(loop.create_task(issue(keys[i], time.perf_counter() - lag)))
         await asyncio.gather(*tasks)
     wall_s = time.perf_counter() - start
 

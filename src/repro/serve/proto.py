@@ -17,6 +17,7 @@ Messages are id-tagged JSON objects.  Requests::
     {"id": 9, "op": "stats_live", "window_s": 5.0}
     {"id": 10, "op": "trace", "n": 4}
     {"id": 11, "op": "ping"}
+    {"id": 12, "op": "aux_state"}
 
 Responses echo the id and carry the `ServeResponse` fields (values hex-
 encoded — JSON has no bytes).  The optional ``trace`` header is a
@@ -27,6 +28,29 @@ are the live-telemetry verbs behind ``repro top``.  Requests on one
 connection are served *concurrently* — each frame spawns a task, and
 responses are written as they finish, matched by id — so a single
 connection still benefits from the service's batching and coalescing.
+
+Protocol v2 (routers need to tell *what failed* apart from *the wire
+failed*):
+
+* Every response carries ``"v": PROTO_VERSION``.  Requests may carry a
+  ``"v"`` too; v1 requests omit it and are served unchanged — the v2
+  fields are additive, so v1 clients keep loading v2 responses (they
+  ignore keys they don't know).  A request claiming a version *newer*
+  than the server speaks is refused with an explicit error frame rather
+  than misinterpreted.
+* Failures are **typed error frames**: ``{"id", "v", "status": "error",
+  "error": {"code", "retryable"}, "detail"}``.  ``code`` distinguishes
+  ``unknown_op`` / ``unsupported_version`` / ``bad_request`` (the request
+  is wrong — don't retry) from ``unknown_epoch`` / ``closed`` (the
+  *caller's view* of this shard is stale or the shard is draining —
+  refresh or fail over).  Before v2 both surfaced as an opaque
+  ``status: error`` string, indistinguishable from a transport fault.
+* ``get`` responses piggyback ``"st"``, the service's `state_token`
+  (compaction generation, newest epoch): a router compares it against
+  the token its sealed-aux view was built from and learns — for free, on
+  every answer — that the shard committed or compacted underneath it.
+* ``aux_state`` exports the shard's sealed aux blobs (hex) per live
+  epoch: the only shard bytes a router tier ever holds.
 
 Two clients expose the same async ``get``/``stats`` surface:
 `TCPClient` speaks the framed protocol over a socket; `InprocClient`
@@ -39,6 +63,7 @@ import asyncio
 import itertools
 import json
 import struct
+from dataclasses import replace
 
 from ..obs import TraceContext
 from ..storage.envelope import SealError, seal, unseal
@@ -50,15 +75,55 @@ __all__ = [
     "InprocClient",
     "encode_frame",
     "read_frame",
+    "error_frame",
     "MAX_FRAME_BYTES",
+    "PROTO_VERSION",
+    "ERR_UNKNOWN_OP",
+    "ERR_UNSUPPORTED_VERSION",
+    "ERR_BAD_REQUEST",
+    "ERR_UNKNOWN_EPOCH",
+    "ERR_CLOSED",
+    "ERR_INTERNAL",
 ]
 
 _LEN = struct.Struct("<I")
 MAX_FRAME_BYTES = 1 << 24  # 16 MiB: a point query never comes close
 
+# v1: untyped errors, no state piggyback.  v2 adds the error frame, the
+# version echo, the `st` state token on gets, and the aux_state verb.
+PROTO_VERSION = 2
+
+# Error codes, grouped by what the caller should do about them.
+ERR_UNKNOWN_OP = "unknown_op"              # caller bug: don't retry
+ERR_UNSUPPORTED_VERSION = "unsupported_version"  # caller too new: don't retry
+ERR_BAD_REQUEST = "bad_request"            # caller bug: don't retry
+ERR_UNKNOWN_EPOCH = "unknown_epoch"        # caller's shard view is stale: refresh
+ERR_CLOSED = "closed"                      # shard draining: fail over
+ERR_INTERNAL = "internal"                  # shard-side fault: retry elsewhere
+_RETRYABLE = {ERR_CLOSED, ERR_INTERNAL}
+
 
 class ProtocolError(ValueError):
     """The peer sent something that is not a valid sealed frame."""
+
+
+def error_frame(rid, code: str, detail: str, key: int | None = None) -> dict:
+    """A typed v2 error response.  ``retryable`` spells out whether the
+    failure is about *this request* (malformed, unknown verb — retrying
+    is useless) or *this shard right now* (draining, internal fault —
+    another replica may answer)."""
+    out = {
+        "id": rid,
+        "v": PROTO_VERSION,
+        "status": ERROR,
+        "key": key,
+        "epoch": None,
+        "value": None,
+        "cached": False,
+        "detail": detail,
+        "error": {"code": code, "retryable": code in _RETRYABLE},
+    }
+    return out
 
 
 def encode_frame(message: dict) -> bytes:
@@ -87,6 +152,7 @@ async def read_frame(reader: asyncio.StreamReader) -> dict | None:
 
 def _response_fields(response: ServeResponse) -> dict:
     out = {
+        "v": PROTO_VERSION,
         "status": response.status,
         "key": response.key,
         "epoch": response.epoch,
@@ -96,11 +162,16 @@ def _response_fields(response: ServeResponse) -> dict:
     }
     if response.trace is not None:
         out["trace"] = response.trace
+    if response.code:
+        out["error"] = {"code": response.code, "retryable": response.code in _RETRYABLE}
+    if response.shard_state is not None:
+        out["st"] = list(response.shard_state)
     return out
 
 
 def _response_from_fields(fields: dict) -> ServeResponse:
     value = fields.get("value")
+    st = fields.get("st")
     return ServeResponse(
         status=fields["status"],
         key=fields["key"],
@@ -109,6 +180,8 @@ def _response_from_fields(fields: dict) -> ServeResponse:
         cached=bool(fields.get("cached", False)),
         detail=fields.get("detail", ""),
         trace=fields.get("trace"),
+        code=(fields.get("error") or {}).get("code", ""),
+        shard_state=tuple(st) if st is not None else None,
     )
 
 
@@ -158,13 +231,35 @@ class ServeServer:
             rid = request.get("id")
             try:
                 op = request.get("op")
+                v = request.get("v")
+                if v is not None and int(v) > PROTO_VERSION:
+                    # A future client: refuse explicitly instead of
+                    # answering with semantics it may misread.
+                    await respond(
+                        error_frame(
+                            rid,
+                            ERR_UNSUPPORTED_VERSION,
+                            f"server speaks v{PROTO_VERSION}, request claims v{v}",
+                        )
+                    )
+                    return
                 if op == "get":
+                    try:
+                        key = int(request["key"])
+                    except (KeyError, TypeError, ValueError) as e:
+                        await respond(
+                            error_frame(rid, ERR_BAD_REQUEST, f"bad get request: {e!r}")
+                        )
+                        return
                     response = await self.service.get(
-                        int(request["key"]),
+                        key,
                         epoch=request.get("epoch"),
                         deadline_s=request.get("deadline_s"),
                         trace=request.get("trace"),
                     )
+                    # Piggyback the epoch-set version on every answer: the
+                    # cheapest possible staleness signal for a router.
+                    response = replace(response, shard_state=tuple(self.service.state_token()))
                     await respond({"id": rid, **_response_fields(response)})
                 elif op == "stats":
                     await respond({"id": rid, "stats": self.service.stats()})
@@ -186,15 +281,17 @@ class ServeServer:
                             ),
                         }
                     )
+                elif op == "aux_state":
+                    await respond({"id": rid, "v": PROTO_VERSION, "aux": self.service.aux_state()})
                 elif op == "ping":
-                    await respond({"id": rid, "pong": True})
+                    await respond({"id": rid, "v": PROTO_VERSION, "pong": True})
                 else:
-                    await respond({"id": rid, "status": ERROR, "detail": f"unknown op {op!r}"})
+                    await respond(error_frame(rid, ERR_UNKNOWN_OP, f"unknown op {op!r}"))
             except ConnectionError:
                 pass  # client went away; nothing to tell it
             except Exception as e:
                 try:
-                    await respond({"id": rid, "status": ERROR, "detail": repr(e)})
+                    await respond(error_frame(rid, ERR_INTERNAL, repr(e)))
                 except ConnectionError:
                     pass
 
@@ -279,7 +376,9 @@ class TCPClient:
         future = asyncio.get_running_loop().create_future()
         self._waiting[rid] = future
         async with self._write_lock:
-            self._writer.write(encode_frame({"id": rid, **message}))
+            # v1 servers ignore the version tag; v2 servers use it to
+            # refuse clients from the future.
+            self._writer.write(encode_frame({"id": rid, "v": PROTO_VERSION, **message}))
             await self._writer.drain()
         return await future
 
@@ -303,6 +402,9 @@ class TCPClient:
 
     async def traces(self, n: int = 8) -> list[list[dict]]:
         return (await self._call({"op": "trace", "n": int(n)}))["traces"]
+
+    async def aux_state(self) -> dict:
+        return (await self._call({"op": "aux_state"}))["aux"]
 
     async def ping(self) -> bool:
         return bool((await self._call({"op": "ping"})).get("pong"))
@@ -339,7 +441,12 @@ class InprocClient:
         deadline_s: float | None = None,
         trace: TraceContext | None = None,
     ) -> ServeResponse:
-        return await self.service.get(key, epoch=epoch, deadline_s=deadline_s, trace=trace)
+        response = await self.service.get(
+            key, epoch=epoch, deadline_s=deadline_s, trace=trace
+        )
+        # Same piggyback the TCP front end adds: in-proc and wire clients
+        # are interchangeable to a router.
+        return replace(response, shard_state=tuple(self.service.state_token()))
 
     async def stats(self) -> dict:
         return self.service.stats()
@@ -349,6 +456,9 @@ class InprocClient:
 
     async def traces(self, n: int = 8) -> list[list[dict]]:
         return self.service.recent_traces(n)
+
+    async def aux_state(self) -> dict:
+        return self.service.aux_state()
 
     async def ping(self) -> bool:
         return True

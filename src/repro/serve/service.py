@@ -92,7 +92,16 @@ class ServeResponse:
     """One request's outcome.  ``status`` is always meaningful: a request
     is either answered (``ok`` / ``not_found``), explicitly refused
     (``overloaded``), timed out (``deadline_exceeded``), or failed
-    (``error`` + ``detail``) — never silently dropped."""
+    (``error`` + ``detail``) — never silently dropped.
+
+    ``code`` is the machine-readable error class (protocol v2): routers
+    branch on it (``unknown_epoch`` means *my view is stale*, ``closed``
+    and transport faults mean *retry elsewhere*) where ``detail`` is for
+    humans.  ``shard_state`` is the answering service's piggybacked
+    ``(compaction generation, newest epoch)`` token — how a router
+    notices that a shard moved underneath its sealed-aux view without a
+    dedicated poll.
+    """
 
     status: str
     key: int
@@ -101,6 +110,8 @@ class ServeResponse:
     cached: bool = False
     detail: str = ""
     trace: list | None = None  # span dicts, only on sampled requests
+    code: str = ""
+    shard_state: tuple | None = None
 
     @property
     def ok(self) -> bool:
@@ -396,13 +407,19 @@ class QueryService:
             root = self._trace_begin(key, epoch, trace)
         if self._closed:
             return self._done(
-                t0, ServeResponse(ERROR, key, epoch, detail="service closed"), root
+                t0,
+                ServeResponse(ERROR, key, epoch, detail="service closed", code="closed"),
+                root,
             )
         self._check_generation()
         try:
             resolved = self._resolve_epoch(epoch)
         except LookupError as e:
-            return self._done(t0, ServeResponse(ERROR, key, epoch, detail=str(e)), root)
+            return self._done(
+                t0,
+                ServeResponse(ERROR, key, epoch, detail=str(e), code="unknown_epoch"),
+                root,
+            )
         if resolved is None:
             return self._done(t0, ServeResponse(NOT_FOUND, key, epoch), root)
 
@@ -815,6 +832,37 @@ class QueryService:
         return [w.value for w in work]
 
     # -- introspection -----------------------------------------------------
+
+    def state_token(self) -> list:
+        """``[compaction generation, newest epoch id]`` — the version of
+        this service's epoch set.  A router caches it next to the aux
+        view it built from `aux_state` and treats any response carrying a
+        different token as proof the view is stale (epoch committed or
+        compaction swapped since the last refresh)."""
+        epochs = self.store.epochs
+        return [getattr(self.store, "compactions", 0), epochs[-1] if epochs else -1]
+
+    def aux_state(self) -> dict:
+        """The sealed aux blobs a router needs to hold this shard's
+        routing state: per live epoch, the per-rank blobs exactly as they
+        sit in storage (hex — the wire is JSON).  Formats without aux
+        tables export ``None`` rows; a router then has nothing to prune
+        with and scatters by ring.  ``state`` is the matching
+        `state_token`, so the caller can detect a commit racing the
+        export."""
+        blobs = {}
+        export = getattr(self.store, "aux_blobs", None)
+        for epoch in self.store.epochs:
+            per_rank = export(epoch) if export is not None else None
+            blobs[str(epoch)] = (
+                None if per_rank is None else [b.hex() for b in per_rank]
+            )
+        return {
+            "format": self.store.fmt.name,
+            "nranks": self.store.nranks,
+            "state": self.state_token(),
+            "epochs": blobs,
+        }
 
     def stats(self) -> dict:
         """Point-in-time snapshot of the serving counters (JSON-safe)."""

@@ -1,0 +1,157 @@
+"""Failover: replica promotion, recovery, hedging, TCP parity.
+
+Crash semantics come from ``repro.faults``: a crashed shard's device
+fails every probe, its service answers typed errors, and the router's
+breaker + candidate ordering must promote the replicas — emergently, with
+no leader election — while every answer stays byte-correct.  The
+`FAULT_SEED_OFFSET` environment knob widens the seeded sweep in CI.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.serve import ANY_EPOCH, OK
+
+from .conftest import TINY_CACHES, absent_keys, build_fleet, run
+
+SEED_OFFSET = int(os.environ.get("FAULT_SEED_OFFSET", "0"))
+
+FAILOVER_ROUTER = dict(backoff_s=0.0005, breaker_cooldown_s=30.0)
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_replica_promotion_under_crash(case):
+    seed = 17 + 13 * case + SEED_OFFSET
+    fleet, dumps, truth = build_fleet(
+        nshards=3,
+        rf=2,
+        epochs=1,
+        seed=seed,
+        service_kwargs=TINY_CACHES,
+        router_kwargs=dict(FAILOVER_ROUTER),
+    )
+    victim = case % 3
+    keys = sorted(truth)[::3]
+    victim_keys = [k for k in keys if victim in fleet.ring.owners(k, fleet.rf)]
+    assert victim_keys, "seeded dataset left the victim shard empty?"
+
+    async def go():
+        async with fleet:
+            router = fleet.router
+            fleet.crash_shard(victim)
+            for k in keys:
+                r = await router.get(k, epoch=ANY_EPOCH)
+                assert r.status == OK, (k, r)
+                assert r.value == truth[k], f"key {k} wrong during crash"
+            st = router.stats()
+            assert st["failovers"] > 0
+            assert st["breakers"][str(victim)] == "open"
+            assert st["requests"]["error"] == 0
+
+            await fleet.recover_shard(victim)
+            st = router.stats()
+            assert st["breakers"][str(victim)] == "closed"
+            assert fleet.shards[victim].last_recovery is not None
+            for k in victim_keys:
+                r = await router.get(k, epoch=ANY_EPOCH)
+                assert r.status == OK and r.value == truth[k], (
+                    f"key {k} wrong after recovery"
+                )
+            # The recovered shard serves again: its view is fresh and its
+            # breaker closed, so victim-owned keys route to it once more.
+            assert not router.views[victim].stale
+
+    run(go())
+
+
+def test_crash_with_rf1_loses_availability_not_correctness():
+    """Sanity check on the replication claim itself: with rf=1 there is
+    no replica to promote, so a crashed primary's keys become typed
+    errors — never wrong bytes."""
+    fleet, dumps, truth = build_fleet(
+        nshards=2,
+        rf=1,
+        epochs=1,
+        seed=61,
+        service_kwargs=TINY_CACHES,
+        router_kwargs=dict(FAILOVER_ROUTER),
+    )
+
+    async def go():
+        async with fleet:
+            fleet.crash_shard(0)
+            statuses = {}
+            for k in sorted(truth)[::5]:
+                r = await fleet.router.get(k, epoch=ANY_EPOCH)
+                statuses.setdefault(r.status, 0)
+                statuses[r.status] += 1
+                if r.status == OK:
+                    assert r.value == truth[k]
+                else:
+                    assert r.status == "error"
+                    assert fleet.ring.owners(k, 1) == [0]
+            assert statuses.get("error", 0) > 0, statuses
+            assert statuses.get(OK, 0) > 0, statuses
+
+    run(go())
+
+
+class SlowClient:
+    """Delays every get — a shard that is alive but sitting on the
+    deadline, which is what hedging exists for."""
+
+    def __init__(self, inner, delay_s):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    async def get(self, *args, **kwargs):
+        await asyncio.sleep(self._delay_s)
+        return await self._inner.get(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def test_hedged_read_beats_slow_primary():
+    fleet, dumps, truth = build_fleet(
+        nshards=2, rf=2, epochs=1, seed=23, router_kwargs=dict(hedge_fraction=0.1)
+    )
+
+    async def go():
+        async with fleet:
+            router = fleet.router
+            key = next(iter(sorted(truth)))
+            primary = fleet.ring.owners(key, fleet.rf)[0]
+            fleet.clients[primary] = SlowClient(fleet.clients[primary], 0.5)
+            r = await router.get(key, epoch=ANY_EPOCH, deadline_s=1.0)
+            assert r.status == OK and r.value == truth[key]
+            assert router.stats()["hedges"] >= 1
+
+    run(go())
+
+
+def test_tcp_fleet_matches_truth():
+    """Same drill over real sockets: shards behind `ServeServer`, the
+    router speaking the sealed-frame protocol on both sides."""
+    fleet, dumps, truth = build_fleet(
+        nshards=2, rf=2, epochs=1, records=150, seed=19, tcp=True
+    )
+    keys = sorted(truth)[::4] + absent_keys(truth, n=8)
+
+    async def go():
+        async with fleet:
+            for k in keys:
+                r = await fleet.router.get(k, epoch=ANY_EPOCH)
+                if k in truth:
+                    assert r.status == OK and r.value == truth[k]
+                else:
+                    assert r.status == "not_found"
+            st = fleet.router.stats()
+            assert st["aux_routed"] == len(keys)
+            # Rollup sanity: shard serve.* totals surface as fleet.*.
+            rolled = fleet.rollup()
+            assert rolled.total("fleet.requests") >= len(keys)
+
+    run(go())

@@ -163,6 +163,40 @@ def test_latency_excludes_client_queueing():
     assert rep.latency_ms["p95"] <= rep.latency_ms["p99"]
 
 
+def test_open_loop_queue_wait_reflects_schedule_lag():
+    """Generator drift must land in queue_ms, not vanish.  The enqueue
+    stamp is anchored to the Poisson schedule: when the event loop stalls
+    and the generator falls behind, later requests are stamped at their
+    *scheduled* arrival, so the drift shows up as queue wait.  (Stamping
+    "now" instead would silently report near-zero queue time here.)"""
+    import time as _time
+
+    from repro.serve.service import ServeResponse
+
+    class StallOnceClient:
+        def __init__(self):
+            self.calls = 0
+
+        async def get(self, key, epoch=None, deadline_s=None):
+            self.calls += 1
+            if self.calls == 1:
+                _time.sleep(0.08)  # block the loop: schedule slips ~80ms
+            return ServeResponse("ok", key, 0, value=b"x")
+
+    async def main():
+        sampler = KeySampler(np.arange(16), seed=0)
+        return await run_load(
+            StallOnceClient(), sampler, 20, mode="open", rate_qps=1000.0
+        )
+
+    rep = run(main())
+    assert rep.requests == 20
+    # All requests after the stall are >=30ms behind schedule.
+    assert rep.queue_ms["p50"] > 30.0
+    # The service itself is instant; the lag is queueing, not latency.
+    assert rep.latency_ms["p95"] < 30.0
+
+
 def test_report_carries_queue_and_p95_fields(fmt):
     store, truth = shared_store(fmt)
     keys = np.fromiter(truth[0], dtype=np.int64)

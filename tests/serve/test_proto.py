@@ -6,7 +6,14 @@ import pytest
 
 from repro.core.formats import FMT_FILTERKV
 from repro.serve import ERROR, NOT_FOUND, OK, InprocClient, QueryService, ServeServer, TCPClient
-from repro.serve.proto import MAX_FRAME_BYTES, ProtocolError, encode_frame, read_frame
+from repro.serve.proto import (
+    ERR_UNSUPPORTED_VERSION,
+    MAX_FRAME_BYTES,
+    PROTO_VERSION,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
 
 from .conftest import run, shared_store
 
@@ -137,6 +144,27 @@ def test_unknown_op_yields_error_frame():
                 assert reply["status"] == ERROR and "bogus" in reply["detail"]
                 # The connection survives a bad op.
                 assert await client.ping()
+
+    run(main())
+
+
+def test_unsupported_version_yields_error_frame():
+    store, truth = shared_store(FMT_FILTERKV)
+    key = next(iter(truth[0]))
+
+    async def main():
+        service = QueryService(store)
+        async with ServeServer(service) as server:
+            async with TCPClient(server.host, server.port) as client:
+                reply = await client._call(
+                    {"op": "get", "key": key, "v": PROTO_VERSION + 1}
+                )
+                assert reply["status"] == ERROR
+                assert reply["error"]["code"] == ERR_UNSUPPORTED_VERSION
+                assert not reply["error"]["retryable"]  # caller bug, not shard state
+                # Same connection, current version: answered normally.
+                r = await client.get(key)
+                assert r.status == OK and r.value == truth[0][key]
 
     run(main())
 
