@@ -179,3 +179,105 @@ def test_bench_query(report, benchmark):
     engine.get_many(keys)  # warm the table cache: steady-state batches
     benchmark(lambda: engine.get_many(keys))
     engine.close()
+
+
+# -- multi-core bulk reads: pooled get_many over shared-memory snapshots ----
+
+PARALLEL_QUERIES = 4_096 if SMOKE else 16_384
+PARALLEL_WORKERS = (1, 2) if SMOKE else (1, 2, 4, 8)
+PARALLEL_GATE = 3.0  # asserted only where the hardware can express it
+
+
+def test_bench_query_parallel(report):
+    """Pooled `get_many` vs the in-process bulk engine.
+
+    Each worker count is checked for exact equivalence — identical
+    values and per-key ``found`` / ``partitions_searched`` against the
+    in-process bulk path — before its timing is reported.  The ≥3x gate
+    applies at 8 workers on 8+ cores.
+    """
+    from repro.obs import MetricsRegistry as _Reg
+    from repro.parallel import WorkerPool
+
+    ncores = os.cpu_count() or 1
+    store, stored = _build(FMT_FILTERKV)
+    rng = np.random.default_rng(SEED + 2)
+    present = rng.choice(stored, size=PARALLEL_QUERIES, replace=True)
+    absent = rng.integers(
+        1 << 48, 1 << 49, size=int(PARALLEL_QUERIES * ABSENT_FRAC), dtype=np.uint64
+    )
+    keys = np.concatenate([present, absent])
+    rng.shuffle(keys)
+    epoch = store.epochs[-1]
+
+    engine = store.cached_engine(epoch)
+    engine.get_many(keys[:BATCH])  # warm
+    t0 = time.perf_counter()
+    serial_vals, serial_stats = engine.get_many(keys)
+    serial_t = time.perf_counter() - t0
+    engine.close()
+
+    rows = [["in-process", "-", round(serial_t, 3), f"{len(keys) / serial_t:,.0f}", ""]]
+    data_rows = [
+        {
+            "mode": "in-process",
+            "workers": 0,
+            "seconds": round(serial_t, 4),
+            "lookups_per_s": round(len(keys) / serial_t, 1),
+            "parallel_x": None,
+        }
+    ]
+    speedup_by_workers = {}
+    for nworkers in PARALLEL_WORKERS:
+        with WorkerPool(workers=nworkers, metrics=_Reg()) as pool:
+            pool.warm()
+            pooled = store.attach_pool(pool, min_keys=1, metrics=_Reg())
+            pooled.get_many(keys[:BATCH], epoch)  # warm: pack the snapshot
+            t0 = time.perf_counter()
+            vals, stats = pooled.get_many(keys, epoch)
+            par_t = time.perf_counter() - t0
+            assert pool.stats()["worker_failures"] == 0
+            pooled.release()
+        assert vals == serial_vals
+        assert [s.found for s in stats] == [s.found for s in serial_stats]
+        assert [s.partitions_searched for s in stats] == [
+            s.partitions_searched for s in serial_stats
+        ]
+        speedup_by_workers[nworkers] = serial_t / par_t
+        rows.append(
+            [
+                "pooled",
+                nworkers,
+                round(par_t, 3),
+                f"{len(keys) / par_t:,.0f}",
+                round(serial_t / par_t, 2),
+            ]
+        )
+        data_rows.append(
+            {
+                "mode": "pooled",
+                "workers": nworkers,
+                "seconds": round(par_t, 4),
+                "lookups_per_s": round(len(keys) / par_t, 1),
+                "parallel_x": round(serial_t / par_t, 3),
+            }
+        )
+
+    text, data = table_artifact(
+        ["mode", "workers", "seconds", "lookups/s", "vs in-process"],
+        rows,
+        title=(
+            f"Parallel bulk reads — filterkv, {NRANKS} ranks, "
+            f"{len(keys):,} keys, {ncores} core(s){' [smoke]' if SMOKE else ''}"
+        ),
+    )
+    data["rows_detailed"] = data_rows
+    data["cores"] = ncores
+    data["equivalent"] = True  # asserted above per worker count
+    report(text, name="query_parallel", data=data)
+
+    if ncores >= 8 and 8 in speedup_by_workers:
+        assert speedup_by_workers[8] >= PARALLEL_GATE, (
+            f"8-worker bulk reads only {speedup_by_workers[8]:.2f}x in-process "
+            f"(need {PARALLEL_GATE}x on {ncores} cores)"
+        )

@@ -407,3 +407,108 @@ def test_bench_serve(report, benchmark):
         loop.run_until_complete(svc.close())
     finally:
         loop.close()
+
+
+# -- multi-core serving: dispatch windows on the worker pool ----------------
+
+PARALLEL_REQUESTS = 2_000 if SMOKE else 8_000
+PARALLEL_GATE = 3.0  # asserted only where the hardware can express it
+
+
+def _served_uniform(store, expected, keys, pool=None):
+    """Closed-loop *uniform* load with a tiny result cache: nearly every
+    request reaches a real probe, so dispatch windows stay full and the
+    pooled path (when a pool is attached) carries the traffic."""
+    sampler = KeySampler(keys, "uniform", seed=SEED)
+
+    async def main():
+        kwargs = dict(
+            max_batch=256,
+            max_inflight=4096,
+            queue_high_watermark=4096,
+            result_cache_entries=8,  # force probes; this arm measures them
+        )
+        if pool is not None:
+            kwargs.update(pool=pool, pool_min_keys=32)
+        async with QueryService(store, **kwargs) as svc:
+            client = InprocClient(svc)
+            await run_load(client, sampler, PARALLEL_REQUESTS // 4, mode="closed", concurrency=256)
+            load = await run_load(
+                client,
+                sampler,
+                PARALLEL_REQUESTS,
+                mode="closed",
+                concurrency=256,
+                expected=expected,
+            )
+            pooled_windows = int(svc.metrics.total("serve.pooled_windows"))
+            return load, pooled_windows
+
+    return asyncio.run(main())
+
+
+def test_bench_serve_parallel(report):
+    """Pooled serving vs the in-process dispatcher, same answers required.
+
+    Both arms run the identical uniform closed-loop workload with
+    correctness checked per response; the pooled arm must actually route
+    windows through the workers.  The ≥3x QPS gate applies on 8+ cores.
+    """
+    from repro.obs import MetricsRegistry as _Reg
+    from repro.parallel import WorkerPool
+
+    ncores = os.cpu_count() or 1
+    nworkers = min(8, ncores) if ncores > 1 else 2
+    store_a, expected = _build(FMT_FILTERKV)
+    store_b, expected_b = _build(FMT_FILTERKV)
+    assert expected == expected_b
+    keys = np.fromiter(expected, dtype=np.int64)
+
+    inproc, _ = _served_uniform(store_a, expected, keys)
+    with WorkerPool(workers=nworkers, metrics=_Reg()) as pool:
+        pool.warm()
+        pooled, pooled_windows = _served_uniform(store_b, expected, keys, pool=pool)
+        assert pool.stats()["worker_failures"] == 0
+    assert inproc.incorrect == 0 and pooled.incorrect == 0
+    assert inproc.checked == pooled.checked == PARALLEL_REQUESTS
+    assert pooled_windows > 0, "pooled serving never left the event-loop thread"
+
+    ratio = pooled.qps / inproc.qps
+    rows = [
+        ["in-process", "-", f"{inproc.qps:,.0f}", inproc.latency_ms["p99"], ""],
+        ["pooled", nworkers, f"{pooled.qps:,.0f}", pooled.latency_ms["p99"], round(ratio, 2)],
+    ]
+    text, data = table_artifact(
+        ["arm", "workers", "qps", "p99 ms", "vs in-process"],
+        rows,
+        title=(
+            f"Pooled serving — filterkv, {NRANKS} ranks, uniform load, "
+            f"{ncores} core(s){' [smoke]' if SMOKE else ''}"
+        ),
+    )
+    data["rows_detailed"] = [
+        {
+            "arm": "in-process",
+            "workers": 0,
+            "serve_qps_measured": round(inproc.qps, 1),
+            "latency_ms": inproc.latency_ms,
+            "parallel_x": None,
+        },
+        {
+            "arm": "pooled",
+            "workers": nworkers,
+            "serve_qps_measured": round(pooled.qps, 1),
+            "latency_ms": pooled.latency_ms,
+            "parallel_x": round(ratio, 3),
+            "pooled_windows": pooled_windows,
+        },
+    ]
+    data["cores"] = ncores
+    data["equivalent"] = True  # zero incorrect on both arms, same workload
+    report(text, name="serve_parallel", data=data)
+
+    if ncores >= 8:
+        assert ratio >= PARALLEL_GATE, (
+            f"pooled serving only {ratio:.2f}x in-process "
+            f"(need {PARALLEL_GATE}x on {ncores} cores)"
+        )

@@ -47,13 +47,19 @@ from ..storage.compact import (
 )
 from ..storage.envelope import seal
 from ..storage.manifest import EpochInfo, Manifest
-from .auxtable import aux_to_blob, build_sealed_aux
+from .auxtable import AuxBackendPolicy, aux_to_blob, build_sealed_aux
 from .pipeline import aux_table_name, main_table_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .multiepoch import MultiEpochStore
 
-__all__ = ["CompactionPolicy", "CompactionReport", "Compactor"]
+__all__ = [
+    "CompactionPolicy",
+    "CompactionReport",
+    "Compactor",
+    "MergeSpec",
+    "produce_merged_epoch",
+]
 
 
 @dataclass(frozen=True)
@@ -116,12 +122,179 @@ class CompactionReport:
         )
 
 
+@dataclass(frozen=True)
+class MergeSpec:
+    """Everything the pure merge step needs, picklable.
+
+    The k-way merge is a deterministic function of the source partition
+    tables plus these parameters, so it can run in-process (foreground
+    `Compactor.run`) or inside a pool worker over a shared-memory mirror
+    of the source tables (`repro.parallel.compactbg`) and produce
+    byte-identical merged extents either way.
+    """
+
+    fmt: str
+    nranks: int
+    block_size: int
+    seed: int
+    merged: int
+    newest_first: tuple[int, ...]
+    aux_policy: AuxBackendPolicy | None = None
+
+    def source_tables(self) -> list[str]:
+        """Extent names the merge reads (per-rank source partition tables)."""
+        return [
+            main_table_name(epoch, rank)
+            for epoch in self.newest_first
+            for rank in range(self.nranks)
+        ]
+
+
+def produce_merged_epoch(spec: MergeSpec, device, metrics=None) -> dict:
+    """Run the merge described by ``spec`` against ``device``.
+
+    Pure with respect to the manifest: reads the source partition tables,
+    writes the merged epoch's ``part.*`` (and, for filterkv, ``aux.*``)
+    extents, and returns ``{"records_out", "aux_backends"}``.  Publishing
+    the result — manifest swap, sweep, compaction counters — stays with
+    `Compactor.publish` on the caller's side.
+    """
+    metrics = active(metrics)
+    if spec.fmt == "filterkv":
+        records_out, aux_backends = _merge_filterkv(spec, device, metrics)
+    else:
+        records_out, aux_backends = _merge_direct(spec, device), set()
+    return {"records_out": records_out, "aux_backends": aux_backends}
+
+
+def _merge_direct(spec: MergeSpec, device) -> int:
+    """base/dataptr: partitions are hash-assigned, so each rank's
+    merged table depends only on that rank's source tables."""
+    records_out = 0
+    for rank in range(spec.nranks):
+        if current_span() is None:
+            records_out += _merge_one_rank(spec, device, rank)
+        else:
+            with child_span("compact.merge", rank=rank):
+                records_out += _merge_one_rank(spec, device, rank)
+    return records_out
+
+
+def _merge_one_rank(spec: MergeSpec, device, rank: int) -> int:
+    key_chunks: list[np.ndarray] = []
+    val_chunks: list[np.ndarray | list[bytes]] = []
+    for epoch in spec.newest_first:
+        keys, values = read_table_arrays(device, main_table_name(epoch, rank))
+        key_chunks.append(keys)
+        val_chunks.append(values)
+    keys = np.concatenate(key_chunks)
+    winners = first_occurrence(keys)
+    write_merged_table(
+        device,
+        main_table_name(spec.merged, rank),
+        keys[winners],
+        take_values(concat_values(val_chunks), winners),
+        spec.block_size,
+    )
+    return int(winners.size)
+
+
+def _merge_filterkv(spec: MergeSpec, device, metrics) -> tuple[int, set[str]]:
+    """filterkv: data stays on the rank that wrote it, so winners are
+    chosen globally — first occurrence in (recency desc, rank asc)
+    order, the same precedence as the pre-compaction probe walk — then
+    scattered back to their source ranks and indexed by fresh aux
+    tables on the hash owners."""
+    merged = spec.merged
+    key_chunks: list[np.ndarray] = []
+    val_chunks: list[np.ndarray | list[bytes]] = []
+    rank_chunks: list[np.ndarray] = []
+    for epoch in spec.newest_first:
+        for rank in range(spec.nranks):
+            keys, values = read_table_arrays(device, main_table_name(epoch, rank))
+            key_chunks.append(keys)
+            val_chunks.append(values)
+            rank_chunks.append(np.full(keys.size, rank, dtype=np.int64))
+    keys = np.concatenate(key_chunks)
+    ranks = np.concatenate(rank_chunks)
+    winners = first_occurrence(keys)
+    wkeys = keys[winners]
+    wranks = ranks[winners]
+    wvalues = take_values(concat_values(val_chunks), winners)
+
+    for rank in range(spec.nranks):
+        sel = np.flatnonzero(wranks == rank)
+        if current_span() is None:
+            _write_filterkv_rank(spec, device, rank, wkeys, wvalues, sel)
+        else:
+            with child_span("compact.merge", rank=rank):
+                _write_filterkv_rank(spec, device, rank, wkeys, wvalues, sel)
+
+    # Fresh aux tables on the hash owners, seeded exactly as an
+    # ingest-time epoch would be (store seed + epoch + rank), then
+    # sealed — torn blobs are detected at recovery like any other.
+    # With a flush-time aux policy the merged epoch re-runs the backend
+    # tournament on its (merged, deduplicated) key set; mixed-backend
+    # source epochs thus converge on one winner after compaction.
+    from .formats import FORMATS
+    from .partitioning import HashPartitioner
+
+    aux_backends_used: set[str] = set()
+    owners = HashPartitioner(spec.nranks).partition_of(wkeys)
+    for part in range(spec.nranks):
+        sel = np.flatnonzero(owners == part)
+        if spec.aux_policy is not None:
+            backends = spec.aux_policy.rank_backends(
+                int(sel.size), spec.nranks, epoch=merged
+            )
+        else:
+            backends = [FORMATS[spec.fmt].aux_backend or "cuckoo"]
+        aux = build_sealed_aux(
+            wkeys[sel],
+            wranks[sel].astype(np.uint64),
+            nparts=spec.nranks,
+            backends=backends,
+            capacity_hint=max(1, int(sel.size)),
+            seed=spec.seed + merged + part,
+            metrics=metrics,
+            metric_labels={"rank": str(part)},
+        )
+        aux_backends_used.add(aux.backend)
+        aux.record_structure_metrics()
+        blob = seal(aux_to_blob(aux))
+        with device.open(aux_table_name(merged, part), create=True) as f:
+            f.append(blob)
+    return int(wkeys.size), aux_backends_used
+
+
+def _write_filterkv_rank(
+    spec: MergeSpec,
+    device,
+    rank: int,
+    wkeys: np.ndarray,
+    wvalues: np.ndarray | list[bytes],
+    sel: np.ndarray,
+) -> None:
+    write_merged_table(
+        device,
+        main_table_name(spec.merged, rank),
+        wkeys[sel],
+        take_values(wvalues, sel),
+        spec.block_size,
+    )
+
+
 class Compactor:
     """Merges sealed epochs of one store's dataset.
 
     Operates on the device and a *copy* of the manifest; the store's
     in-memory state is untouched until `run` returns, so a crash (or
     exception) mid-merge leaves the caller exactly where it started.
+
+    `run` is the foreground path: validate → produce (in-process) →
+    publish.  A background caller uses the same pieces but ships the
+    produce step to a pool worker: `validate` + `prepare` first, then
+    `publish` once the worker's merged extents are adopted.
     """
 
     def __init__(self, store: "MultiEpochStore"):
@@ -129,8 +302,8 @@ class Compactor:
         self.device = store.device
         self.metrics = active(store.device.metrics)
 
-    def run(self, epochs: list[int]) -> tuple[Manifest, CompactionReport]:
-        """Merge ``epochs``; returns the swapped-in manifest and a report."""
+    def validate(self, epochs: list[int]) -> list[int]:
+        """Normalize and sanity-check the source epoch set."""
         epochs = sorted(set(int(e) for e in epochs))
         if len(epochs) < 2:
             raise ValueError(f"compaction needs >= 2 source epochs, got {epochs}")
@@ -149,27 +322,60 @@ class Compactor:
                 f"source epochs {epochs} are not adjacent in recency order "
                 f"(live epoch(s) {skipped} sit between them)"
             )
+        return epochs
+
+    def prepare(self, epochs: list[int]) -> tuple[Manifest, MergeSpec]:
+        """A private manifest copy (the live one keeps serving and must
+        stay pristine if anything later raises) plus the merge spec."""
+        store = self.store
+        working = Manifest.from_bytes(store.manifest.to_bytes())
+        order_of = {e.epoch: e.order for e in working.epochs}
+        spec = MergeSpec(
+            fmt=store.fmt.name,
+            nranks=store.nranks,
+            block_size=store.block_size,
+            seed=store.seed,
+            merged=working.next_epoch,
+            newest_first=tuple(
+                sorted(epochs, key=lambda e: order_of[e], reverse=True)
+            ),
+            aux_policy=getattr(store, "aux_policy", None),
+        )
+        return working, spec
+
+    def run(self, epochs: list[int]) -> tuple[Manifest, CompactionReport]:
+        """Merge ``epochs``; returns the swapped-in manifest and a report."""
+        epochs = self.validate(epochs)
         if current_span() is None:  # untraced: skip span-argument setup
             return self._run(epochs)
         with child_span("compact.run", epochs=len(epochs)):
             return self._run(epochs)
 
     def _run(self, epochs: list[int]) -> tuple[Manifest, CompactionReport]:
-        store = self.store
-        # Work on a private manifest copy: the live one keeps serving and
-        # must stay pristine if anything below raises.
-        working = Manifest.from_bytes(store.manifest.to_bytes())
-        merged = working.next_epoch
-        order_of = {e.epoch: e.order for e in working.epochs}
-        newest_first = sorted(epochs, key=lambda e: order_of[e], reverse=True)
+        working, spec = self.prepare(epochs)
         bytes_before = self.device.total_bytes_stored()
-        self._aux_backends_used = set()
-
-        if store.fmt.name == "filterkv":
-            records_out = self._merge_filterkv(newest_first, merged)
-        else:
-            records_out = self._merge_direct(newest_first, merged)
+        produced = produce_merged_epoch(spec, self.device, self.metrics)
         bytes_written = self.device.total_bytes_stored() - bytes_before
+        return self.publish(working, spec, produced, bytes_written)
+
+    def publish(
+        self,
+        working: Manifest,
+        spec: MergeSpec,
+        produced: dict,
+        bytes_written: int,
+    ) -> tuple[Manifest, CompactionReport]:
+        """Commit a produced merge: manifest swap, source sweep, counters.
+
+        ``working``/``spec`` come from `prepare`; ``produced`` from
+        `produce_merged_epoch` (run here or in a worker whose extents the
+        caller has already adopted onto the device).
+        """
+        store = self.store
+        merged = spec.merged
+        epochs = sorted(spec.newest_first)
+        records_out = produced["records_out"]
+        order_of = {e.epoch: e.order for e in working.epochs}
 
         files = [
             n
@@ -194,7 +400,7 @@ class Compactor:
                 # it must sit where that source sat in the read walk, not
                 # at the front where its fresh id would put it.
                 order=max(order_of[e] for e in epochs),
-                aux_backend=",".join(sorted(self._aux_backends_used)) or None,
+                aux_backend=",".join(sorted(produced["aux_backends"])) or None,
             )
         )
         working.note_compaction(epochs, merged)
@@ -245,120 +451,3 @@ class Compactor:
             generation=generation,
         )
         return working, report
-
-    # -- per-format merges -------------------------------------------------
-
-    def _merge_direct(self, newest_first: list[int], merged: int) -> int:
-        """base/dataptr: partitions are hash-assigned, so each rank's
-        merged table depends only on that rank's source tables."""
-        store = self.store
-        records_out = 0
-        for rank in range(store.nranks):
-            if current_span() is None:
-                records_out += self._merge_one_rank(newest_first, merged, rank)
-            else:
-                with child_span("compact.merge", rank=rank):
-                    records_out += self._merge_one_rank(newest_first, merged, rank)
-        return records_out
-
-    def _merge_one_rank(self, newest_first: list[int], merged: int, rank: int) -> int:
-        key_chunks: list[np.ndarray] = []
-        val_chunks: list[np.ndarray | list[bytes]] = []
-        for epoch in newest_first:
-            keys, values = read_table_arrays(
-                self.device, main_table_name(epoch, rank)
-            )
-            key_chunks.append(keys)
-            val_chunks.append(values)
-        keys = np.concatenate(key_chunks)
-        winners = first_occurrence(keys)
-        write_merged_table(
-            self.device,
-            main_table_name(merged, rank),
-            keys[winners],
-            take_values(concat_values(val_chunks), winners),
-            self.store.block_size,
-        )
-        return int(winners.size)
-
-    def _merge_filterkv(self, newest_first: list[int], merged: int) -> int:
-        """filterkv: data stays on the rank that wrote it, so winners are
-        chosen globally — first occurrence in (recency desc, rank asc)
-        order, the same precedence as the pre-compaction probe walk — then
-        scattered back to their source ranks and indexed by fresh aux
-        tables on the hash owners."""
-        store = self.store
-        key_chunks: list[np.ndarray] = []
-        val_chunks: list[np.ndarray | list[bytes]] = []
-        rank_chunks: list[np.ndarray] = []
-        for epoch in newest_first:
-            for rank in range(store.nranks):
-                keys, values = read_table_arrays(
-                    self.device, main_table_name(epoch, rank)
-                )
-                key_chunks.append(keys)
-                val_chunks.append(values)
-                rank_chunks.append(np.full(keys.size, rank, dtype=np.int64))
-        keys = np.concatenate(key_chunks)
-        ranks = np.concatenate(rank_chunks)
-        winners = first_occurrence(keys)
-        wkeys = keys[winners]
-        wranks = ranks[winners]
-        wvalues = take_values(concat_values(val_chunks), winners)
-
-        for rank in range(store.nranks):
-            sel = np.flatnonzero(wranks == rank)
-            if current_span() is None:
-                self._write_filterkv_rank(merged, rank, wkeys, wvalues, sel)
-            else:
-                with child_span("compact.merge", rank=rank):
-                    self._write_filterkv_rank(merged, rank, wkeys, wvalues, sel)
-
-        # Fresh aux tables on the hash owners, seeded exactly as an
-        # ingest-time epoch would be (store seed + epoch + rank), then
-        # sealed — torn blobs are detected at recovery like any other.
-        # With a flush-time aux policy the merged epoch re-runs the backend
-        # tournament on its (merged, deduplicated) key set; mixed-backend
-        # source epochs thus converge on one winner after compaction.
-        from .partitioning import HashPartitioner
-
-        aux_policy = getattr(store, "aux_policy", None)
-        owners = HashPartitioner(store.nranks).partition_of(wkeys)
-        for part in range(store.nranks):
-            sel = np.flatnonzero(owners == part)
-            if aux_policy is not None:
-                backends = aux_policy.rank_backends(int(sel.size), store.nranks, epoch=merged)
-            else:
-                backends = [store.fmt.aux_backend or "cuckoo"]
-            aux = build_sealed_aux(
-                wkeys[sel],
-                wranks[sel].astype(np.uint64),
-                nparts=store.nranks,
-                backends=backends,
-                capacity_hint=max(1, int(sel.size)),
-                seed=store.seed + merged + part,
-                metrics=self.metrics,
-                metric_labels={"rank": str(part)},
-            )
-            self._aux_backends_used.add(aux.backend)
-            aux.record_structure_metrics()
-            blob = seal(aux_to_blob(aux))
-            with self.device.open(aux_table_name(merged, part), create=True) as f:
-                f.append(blob)
-        return int(wkeys.size)
-
-    def _write_filterkv_rank(
-        self,
-        merged: int,
-        rank: int,
-        wkeys: np.ndarray,
-        wvalues: np.ndarray | list[bytes],
-        sel: np.ndarray,
-    ) -> None:
-        write_merged_table(
-            self.device,
-            main_table_name(merged, rank),
-            wkeys[sel],
-            take_values(wvalues, sel),
-            self.store.block_size,
-        )

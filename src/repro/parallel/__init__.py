@@ -1,0 +1,38 @@
+"""True multi-core execution: process-pool pipelines over shared memory.
+
+Every hot path in the reproduction is NumPy-vectorized but still executes
+on one Python thread; this package breaks that ceiling.  A persistent
+`WorkerPool` (spawn-based ``ProcessPoolExecutor``) receives columnar
+batches through zero-copy `multiprocessing.shared_memory` segments
+(small payloads inline into the task pickle instead), runs the *same*
+pipeline code on a worker-local `MirrorDevice`, and ships extents,
+I/O counters, and a per-worker `MetricsRegistry` back for an exact merge
+— ``parallel="process"`` is byte-identical to the in-process path,
+including counter sums.
+
+Layers wired in:
+
+* ingest — `SimCluster(parallel="process", pool=...)` fans writer and
+  receiver rank pipelines across the pool (`repro.parallel.ingest`);
+* bulk reads — `PooledReads` shards `get_many` key ranges across workers
+  holding shared-memory snapshots of the store (`repro.parallel.reads`);
+* serve — `QueryService(pool=...)` routes dispatch windows through the
+  pooled bulk path, and `compact_in_background` runs compaction's k-way
+  merge off the event loop (`repro.parallel.compactbg`).
+
+Worker crashes never change answers: the pool re-runs lost tasks
+in-process and counts them in ``parallel.worker_failures``.
+"""
+
+from .compactbg import compact_in_background
+from .pool import PoolFaultPlan, WorkerPool
+from .shm import MirrorDevice, ShmBlob, BlobMap
+
+__all__ = [
+    "WorkerPool",
+    "PoolFaultPlan",
+    "ShmBlob",
+    "BlobMap",
+    "MirrorDevice",
+    "compact_in_background",
+]

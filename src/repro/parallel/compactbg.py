@@ -1,0 +1,128 @@
+"""Background compaction: the k-way merge in a pool worker.
+
+Foreground `MultiEpochStore.compact` blocks its thread for the whole
+merge — on an asyncio serving loop (`repro.serve`) that stalls every
+in-flight query for the duration.  `compact_in_background` splits the
+Compactor's phases across the process boundary instead:
+
+* **prepare** (parent, instant) — pin the source set, copy the manifest,
+  build the picklable `MergeSpec`;
+* **produce** (worker) — a `MirrorDevice` maps the source partition
+  tables straight out of one shared-memory `BlobMap` and runs the exact
+  `produce_merged_epoch` the foreground path runs, charging I/O and
+  metrics to worker-local accounting;
+* **publish** (parent, instant) — adopt the merged extents, fold the
+  worker's counters and registry back in, then run the same manifest
+  swap + sweep as the foreground path.
+
+The store keeps serving the pre-merge manifest while the worker crunches;
+only `publish` (microseconds of parent work) touches shared state.  The
+produced dataset, the compaction report, and the merged counter sums are
+identical to a foreground `compact` of the same epochs — pinned by the
+tier-1 parallel suite.
+
+The store must stay quiescent *structurally* while the merge is out:
+reads are fine, but a concurrent `write_epoch`/`compact` would invalidate
+the pinned manifest copy, so publishing raises rather than swapping in a
+stale view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..core.compact import CompactionReport, Compactor, produce_merged_epoch
+from ..obs import NULL_REGISTRY, MetricsRegistry
+from .shm import BlobMap, MirrorDevice
+
+__all__ = ["compact_in_background"]
+
+
+def _merge_task(p: dict) -> dict:
+    """Pool task: run the k-way merge over mirrored source tables."""
+    cfg = p["cfg"]
+    metrics = MetricsRegistry("pool-worker") if cfg["metrics_on"] else None
+    device = MirrorDevice(cfg["profile"], metrics=metrics)
+    tables = p["tables"]
+    for name in tables.names():
+        device.map_extent(name, tables.get(name))
+    produced = produce_merged_epoch(p["spec"], device, metrics)
+    out = {
+        "records_out": produced["records_out"],
+        "aux_backends": produced["aux_backends"],
+        "extents": BlobMap.pack(device.local_extents()),
+        "io": device.counters,
+        "metrics": metrics,
+    }
+    tables.release()  # detach before GC tears the mapping down
+    return out
+
+
+async def compact_in_background(
+    store, pool, epochs: list[int] | None = None
+) -> CompactionReport | None:
+    """Merge ``epochs`` of ``store`` in a pool worker; await the swap.
+
+    Drop-in async equivalent of `MultiEpochStore.compact`: same epoch
+    selection (policy pick, else all live), same None-when-nothing-to-do
+    contract, same report.  The event loop stays free while the merge
+    runs — only prepare/publish execute here.
+    """
+    if epochs is None:
+        if store.compaction_policy is not None:
+            epochs = store.compaction_policy.select(store.manifest)
+        else:
+            epochs = store.epochs if len(store.epochs) >= 2 else None
+    if not epochs or len(epochs) < 2:
+        return None
+
+    compactor = Compactor(store)
+    picked = compactor.validate(list(epochs))
+    working, spec = compactor.prepare(picked)
+    pinned = (store.compactions, tuple(store.epochs))
+
+    device = store.device
+    tables = BlobMap.pack(
+        {name: device._require(name).getbuffer() for name in spec.source_tables()}
+    )
+    if tables.blob.shared:
+        pool.note_shm_bytes(tables.nbytes)
+    try:
+        cfg = {
+            "profile": device.profile,
+            "metrics_on": device.metrics is not NULL_REGISTRY,
+        }
+        res = await asyncio.wrap_future(
+            pool.submit(_merge_task, {"cfg": cfg, "spec": spec, "tables": tables})
+        )
+    finally:
+        if tables.blob.shared:
+            pool.drop_shm_bytes(tables.nbytes)
+        tables.release(unlink=True)
+
+    if (store.compactions, tuple(store.epochs)) != pinned:
+        res["extents"].release(unlink=True)
+        raise RuntimeError(
+            "store changed shape during background compaction; merged output discarded"
+        )
+
+    # Land the worker's output exactly as the foreground path would have
+    # written it: bytes_written is the storage delta from the merged
+    # extents, charged I/O travels via the worker's counters.
+    bytes_before = device.total_bytes_stored()
+    ext = res["extents"]
+    for name in ext.names():
+        device.adopt_extent(name, ext.get(name))
+    ext.release(unlink=True)
+    bytes_written = device.total_bytes_stored() - bytes_before
+    device.absorb_counters(res["io"])
+    if res["metrics"] is not None:
+        device.metrics.merge(res["metrics"])
+
+    produced = {
+        "records_out": res["records_out"],
+        "aux_backends": res["aux_backends"],
+    }
+    manifest, report = compactor.publish(working, spec, produced, bytes_written)
+    store._apply_compaction(manifest, report)
+    return report

@@ -1,0 +1,251 @@
+"""Persistent spawn-based worker pool with in-process crash fallback.
+
+`WorkerPool` wraps a ``ProcessPoolExecutor`` built on the *spawn* start
+method — workers boot a fresh interpreter and import task functions by
+name, so they can never inherit the parent's open reader or vlog handles
+(fork would hand every child the whole handle table).  Pools are meant to
+live for a whole run: worker startup is paid once and amortized across
+every ingest epoch, bulk read, and serve window dispatched through it.
+
+Tasks are plain module-level functions referenced by ``module:qualname``
+spec; payloads are picklable objects whose bulk data rides in
+`repro.parallel.shm` blobs.  `run` preserves payload order in its result
+list.
+
+Fault model: a worker process dying (OOM kill, hard crash) breaks the
+executor and fails *every* pending future.  `run` treats that as a
+degraded mode, not an error — each lost task re-executes in-process on
+the parent (payload blobs keep a local buffer precisely so this path is
+zero-cost), ``parallel.worker_failures`` counts each retried task, and
+the broken executor is discarded and lazily respawned.  Faults therefore
+never change answers, only wall-clock.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+from ..obs import MetricsRegistry, active
+
+__all__ = ["WorkerPool", "PoolFaultPlan", "default_workers"]
+
+
+def default_workers() -> int:
+    """Pool size when unspecified: every core, capped at 8 (the paper's
+    scaling study tops out there and bigger pools just burn memory)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class PoolFaultPlan:
+    """Deterministic worker-crash injection for robustness tests.
+
+    The parent numbers tasks globally in submission order; the worker
+    executing task ``kill_task`` dies via ``os._exit`` before touching the
+    payload — indistinguishable from an OOM kill as far as the executor
+    is concerned.  Fires once.
+    """
+
+    kill_task: int
+    exit_code: int = 17
+
+
+def _run_remote(spec: str, payload, kill: int):
+    """Executed inside a pool worker: resolve the task by name and run it.
+
+    ``kill`` is a nonzero exit code when a `PoolFaultPlan` chose this task:
+    the worker dies before touching the payload, exactly like an OOM kill.
+    """
+    if kill:
+        os._exit(kill)
+    mod, _, qual = spec.partition(":")
+    fn = importlib.import_module(mod)
+    for part in qual.split("."):
+        fn = getattr(fn, part)
+    return fn(payload)
+
+
+class WorkerPool:
+    """A persistent pool of spawn-context worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; defaults to `default_workers()`.
+    metrics:
+        Registry for ``parallel.*`` telemetry (tasks, batches, failures,
+        pool/busy gauges, shared-memory bytes in flight).
+    fault_plan:
+        Optional `PoolFaultPlan` arming a one-shot worker crash.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        fault_plan: PoolFaultPlan | None = None,
+    ):
+        self.workers = int(workers) if workers else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.metrics = active(metrics)
+        self.fault_plan = fault_plan
+        self._executor: ProcessPoolExecutor | None = None
+        self._seq = 0  # global task number, for fault-plan arming
+        self._fault_fired = False
+        m = self.metrics
+        self._m_tasks = m.counter("parallel.tasks")
+        self._m_batches = m.counter("parallel.batches")
+        self._m_failures = m.counter("parallel.worker_failures")
+        self._g_pool = m.gauge("parallel.pool_size")
+        self._g_busy = m.gauge("parallel.busy_workers")
+        self._g_inflight = m.gauge("parallel.tasks_inflight")
+        self._g_shm = m.gauge("parallel.shm_bytes")
+        self._g_pool.set(0)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=get_context("spawn")
+            )
+            self._g_pool.set(self.workers)
+        return self._executor
+
+    def warm(self) -> None:
+        """Spawn the workers now (tests amortize startup explicitly)."""
+        ex = self._ensure()
+        list(ex.map(_noop, range(self.workers)))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._g_pool.set(0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def submit(self, fn, payload) -> Future:
+        """Submit one task; the future resolves to ``fn(payload)``.
+
+        Worker death is absorbed here too: the returned future is a
+        parent-side wrapper that falls back to running ``fn`` in-process
+        when the pool future breaks.
+        """
+        out: Future = Future()
+        self._m_tasks.inc()
+        self._g_inflight.inc()
+        self._g_busy.set(min(self.workers, int(self._g_inflight.value)))
+        inner = self._submit_raw(fn, payload)
+
+        def _done(f: Future):
+            self._g_inflight.dec()
+            self._g_busy.set(min(self.workers, max(0, int(self._g_inflight.value))))
+            try:
+                out.set_result(f.result())
+            except BrokenProcessPool:
+                self._discard_broken()
+                self._m_failures.inc()
+                try:
+                    out.set_result(fn(payload))
+                except BaseException as e:  # pragma: no cover - surfaced to caller
+                    out.set_exception(e)
+            except BaseException as e:
+                out.set_exception(e)
+
+        inner.add_done_callback(_done)
+        return out
+
+    def run(self, fn, payloads) -> list:
+        """Run ``fn`` over every payload on the pool; results in order.
+
+        One call = one *batch* in the telemetry.  Lost tasks (worker
+        crash) re-run in-process and are counted per task in
+        ``parallel.worker_failures``.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        self._m_batches.inc()
+        self._m_tasks.inc(len(payloads))
+        self._g_inflight.set(len(payloads))
+        self._g_busy.set(min(self.workers, len(payloads)))
+        futures = [self._submit_raw(fn, p) for p in payloads]
+        results = []
+        broken = False
+        for fut, payload in zip(futures, payloads):
+            try:
+                results.append(fut.result())
+                self._g_inflight.dec()
+            except BrokenProcessPool:
+                broken = True
+                self._m_failures.inc()
+                results.append(fn(payload))
+                self._g_inflight.dec()
+        if broken:
+            self._discard_broken()
+        self._g_inflight.set(0)
+        self._g_busy.set(0)
+        return results
+
+    def _submit_raw(self, fn, payload) -> Future:
+        spec = f"{fn.__module__}:{fn.__qualname__}"
+        kill = 0
+        if (
+            self.fault_plan is not None
+            and not self._fault_fired
+            and self._seq == self.fault_plan.kill_task
+        ):
+            kill = self.fault_plan.exit_code
+            self._fault_fired = True
+        self._seq += 1
+        try:
+            return self._ensure().submit(_run_remote, spec, payload, kill)
+        except BrokenProcessPool:
+            # Executor died between batches; rebuild once and retry.
+            self._discard_broken()
+            return self._ensure().submit(_run_remote, spec, payload, kill)
+
+    def _discard_broken(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._g_pool.set(0)
+
+    # -- introspection -----------------------------------------------------
+
+    def note_shm_bytes(self, nbytes: int) -> None:
+        """Record shared-memory bytes currently in flight (transport layers
+        call this as blobs are packed and released)."""
+        self._g_shm.inc(nbytes)
+
+    def drop_shm_bytes(self, nbytes: int) -> None:
+        self._g_shm.dec(nbytes)
+
+    def stats(self) -> dict:
+        """Live snapshot for ``repro top``'s workers panel."""
+        return {
+            "pool_size": self.workers if self._executor is not None else 0,
+            "configured_workers": self.workers,
+            "busy_workers": int(self._g_busy.value),
+            "tasks": int(self._m_tasks.value),
+            "batches": int(self._m_batches.value),
+            "worker_failures": int(self._m_failures.value),
+            "shm_bytes": int(self._g_shm.value),
+        }
+
+
+def _noop(_x):
+    return None

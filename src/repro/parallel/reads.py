@@ -1,0 +1,299 @@
+"""Process-parallel bulk reads: `get_many` sharded across the worker pool.
+
+The parent packs every live ``part.* / aux.* / vlog.*`` extent into one
+shared-memory `BlobMap` (a *store snapshot*, refreshed only when the
+store's epoch set or compaction generation changes) and splits the key
+array into contiguous chunks, one probe task per pool worker.  Workers
+cache the snapshot process-globally: the first task after a snapshot
+change maps the segment into a `MirrorDevice` and reloads the aux tables;
+every later task reuses them and pays only the key shipping.
+
+Each probe task runs a *fresh uncached* `QueryEngine` over the worker's
+mirror, so a chunk charges exactly what the same chunk executed serially
+would charge — `serial_get_many` runs the identical chunk plan in-process
+and is the oracle the equivalence tests compare against: values, per-key
+``found`` / ``partitions_searched``, I/O counters, and metric counter
+sums all match.  Worker registries are long-lived, so tasks ship
+`MetricsRegistry.delta` increments rather than whole registries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import numpy as np
+
+from ..core.auxtable import aux_from_blob
+from ..core.formats import FORMATS
+from ..core.partitioning import HashPartitioner
+from ..core.pipeline import aux_table_name
+from ..core.reader import QueryEngine
+from ..obs import MetricsRegistry, NULL_REGISTRY, active
+from ..storage.envelope import unseal
+from .shm import BlobMap, MirrorDevice, ShmBlob
+
+__all__ = ["PooledReads"]
+
+_mirror_ids = itertools.count(1)
+
+# Worker-process-global snapshot cache: store key -> mounted mirror state.
+# One parent store maps to at most one live mirror per worker; a task
+# carrying a newer mirror id evicts the stale mount.
+_WORKER_MIRRORS: dict[str, dict] = {}
+
+
+def _load_aux_tables(raw_blobs: list[bytes], nranks: int) -> list:
+    """Rebuild one epoch's aux tables from their sealed extents.
+
+    Used identically by probe workers and the serial oracle (metrics-free:
+    probe costs are charged by the engine's ``_fetch_aux``, not by the
+    in-memory table object), so both sides count the same things.
+    """
+    return [
+        aux_from_blob(unseal(raw), metric_labels={"rank": str(rank)})
+        for rank, raw in enumerate(raw_blobs)
+    ]
+
+
+def _mount_mirror(p: dict) -> dict:
+    ent = _WORKER_MIRRORS.get(p["store_key"])
+    if ent is not None and ent["mirror_id"] == p["mirror_id"]:
+        return ent
+    if ent is not None:
+        ent["blobmap"].release()
+    cfg = p["cfg"]
+    # Mirror the parent's registry arrangement: the engine registry and the
+    # device registry may be one object (SimCluster-style) or two (a store
+    # device with its own registry) — worker deltas must land in the same
+    # parent registries the serial path charges.
+    metrics = MetricsRegistry("pool-worker") if cfg["metrics_on"] else None
+    if cfg["shared_metrics"]:
+        dev_metrics = metrics
+    else:
+        dev_metrics = (
+            MetricsRegistry("pool-worker-dev") if cfg["dev_metrics_on"] else None
+        )
+    device = MirrorDevice(cfg["profile"], metrics=dev_metrics)
+    bm: BlobMap = p["extents"]
+    for name in bm.names():
+        device.map_extent(name, bm.get(name))
+    ent = {
+        "mirror_id": p["mirror_id"],
+        "device": device,
+        "blobmap": bm,
+        "metrics": metrics,
+        "dev_metrics": dev_metrics,
+        "aux": {},
+    }
+    _WORKER_MIRRORS[p["store_key"]] = ent
+    return ent
+
+
+def _mirror_aux(ent: dict, cfg: dict, epoch: int):
+    aux = ent["aux"].get(epoch)
+    if aux is None and cfg["fmt"] == "filterkv":
+        device: MirrorDevice = ent["device"]
+        raw = [
+            bytes(device._snapshot[aux_table_name(epoch, rank)])
+            for rank in range(cfg["nranks"])
+        ]
+        aux = _load_aux_tables(raw, cfg["nranks"])
+        ent["aux"][epoch] = aux
+    return aux
+
+
+def _probe_task(p: dict) -> dict:
+    """Pool task: run one key chunk through a fresh engine on the mirror."""
+    ent = _mount_mirror(p)
+    cfg = p["cfg"]
+    device: MirrorDevice = ent["device"]
+    metrics = ent["metrics"]
+    dev_metrics = ent["dev_metrics"]
+    marks = metrics.checkpoint() if metrics is not None else None
+    dev_marks = (
+        dev_metrics.checkpoint()
+        if dev_metrics is not None and dev_metrics is not metrics
+        else None
+    )
+    before = device.counters.snapshot()
+    engine = QueryEngine(
+        device=device,
+        fmt=FORMATS[cfg["fmt"]],
+        nranks=cfg["nranks"],
+        partitioner=HashPartitioner(cfg["nranks"]),
+        aux_tables=_mirror_aux(ent, cfg, p["epoch"]),
+        epoch=p["epoch"],
+        metrics=metrics,
+    )
+    keys = np.frombuffer(p["keys"].view(), dtype=np.uint64)
+    values, stats = engine.get_many(keys)
+    out = {
+        "values": values,
+        "stats": stats,
+        "io": device.counters.delta(before),
+        "metrics": metrics.delta(marks) if metrics is not None else None,
+        "dev_metrics": (
+            dev_metrics.delta(dev_marks) if dev_marks is not None else None
+        ),
+    }
+    p["keys"].release()
+    return out
+
+
+class PooledReads:
+    """Sharded `get_many` for one `MultiEpochStore` over a `WorkerPool`."""
+
+    def __init__(self, store, pool, min_keys: int = 256,
+                 metrics: MetricsRegistry | None = None):
+        if min_keys < 1:
+            raise ValueError("min_keys must be >= 1")
+        self.store = store
+        self.pool = pool
+        self.min_keys = min_keys
+        self.metrics = active(metrics)
+        self._store_key = f"{os.getpid()}.{id(store)}"
+        self._token = None
+        self._mirror_id = None
+        self._extents: BlobMap | None = None
+        self._oracle_aux: dict[int, list] = {}
+
+    # -- snapshot management ----------------------------------------------
+
+    def _current_token(self):
+        return (self.store.compactions, tuple(self.store.epochs))
+
+    def _snapshot(self) -> BlobMap:
+        """The live-extent blob, refreshed when the store's state changed."""
+        token = self._current_token()
+        if self._extents is None or token != self._token:
+            if self._extents is not None:
+                if self._extents.blob.shared:
+                    self.pool.drop_shm_bytes(self._extents.nbytes)
+                self._extents.release(unlink=True)
+            device = self.store.device
+            items = {
+                name: device._require(name).getbuffer()
+                for name in device.list_files()
+                if name.startswith(("part.", "aux.", "vlog."))
+            }
+            self._extents = BlobMap.pack(items)
+            if self._extents.blob.shared:
+                self.pool.note_shm_bytes(self._extents.nbytes)
+            self._token = token
+            self._mirror_id = next(_mirror_ids)
+            self._oracle_aux.clear()
+        return self._extents
+
+    def release(self) -> None:
+        """Drop the current snapshot (workers evict on next task)."""
+        if self._extents is not None:
+            if self._extents.blob.shared:
+                self.pool.drop_shm_bytes(self._extents.nbytes)
+            self._extents.release(unlink=True)
+            self._extents = None
+            self._token = None
+
+    # -- planning ----------------------------------------------------------
+
+    def _chunks(self, n: int) -> list[tuple[int, int]]:
+        """Deterministic contiguous shard plan: one chunk per worker."""
+        nshards = min(self.pool.workers, n)
+        size = -(-n // nshards)
+        return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+    def _payloads(self, arr: np.ndarray, epoch: int) -> list[dict]:
+        extents = self._snapshot()
+        device = self.store.device
+        cfg = {
+            "fmt": self.store.fmt.name,
+            "nranks": self.store.nranks,
+            "profile": device.profile,
+            "metrics_on": self.metrics is not NULL_REGISTRY,
+            "dev_metrics_on": device.metrics is not NULL_REGISTRY,
+            "shared_metrics": self.metrics is device.metrics,
+        }
+        return [
+            {
+                "store_key": self._store_key,
+                "mirror_id": self._mirror_id,
+                "extents": extents,
+                "cfg": cfg,
+                "epoch": epoch,
+                "keys": ShmBlob.pack([np.ascontiguousarray(arr[lo:hi])]),
+            }
+            for lo, hi in self._chunks(arr.size)
+        ]
+
+    def _fold(self, results: list[dict]):
+        values, stats = [], []
+        for res in results:
+            self.store.device.absorb_counters(res["io"])
+            if res["metrics"] is not None:
+                self.metrics.merge(res["metrics"])
+            if res["dev_metrics"] is not None:
+                self.store.device.metrics.merge(res["dev_metrics"])
+            values.extend(res["values"])
+            stats.extend(res["stats"])
+        return values, stats
+
+    # -- entry points ------------------------------------------------------
+
+    def get_many(self, keys, epoch: int):
+        """Pooled bulk point queries at one (resolved) epoch."""
+        epoch = self.store.resolve_epoch(epoch)
+        arr = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64).ravel())
+        if arr.size == 0:
+            return [], []
+        payloads = self._payloads(arr, epoch)
+        return self._fold(self.pool.run(_probe_task, payloads))
+
+    async def get_many_async(self, keys, epoch: int):
+        """`get_many` awaitable from an event loop (the serving tier):
+        chunks run on the pool while the loop keeps dispatching."""
+        import asyncio
+
+        epoch = self.store.resolve_epoch(epoch)
+        arr = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64).ravel())
+        if arr.size == 0:
+            return [], []
+        payloads = self._payloads(arr, epoch)
+        futures = [
+            asyncio.wrap_future(self.pool.submit(_probe_task, p)) for p in payloads
+        ]
+        return self._fold(list(await asyncio.gather(*futures)))
+
+    def serial_get_many(self, keys, epoch: int):
+        """The correctness oracle: the *identical* chunk plan, executed
+        in-process against the parent device with the same fresh-engine
+        construction.  ``parallel`` and this path must agree exactly —
+        values, per-key stats, device counters, and counter sums."""
+        epoch = self.store.resolve_epoch(epoch)
+        arr = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64).ravel())
+        if arr.size == 0:
+            return [], []
+        self._snapshot()  # same token bookkeeping as the pooled path
+        aux = self._oracle_aux.get(epoch)
+        if aux is None and self.store.fmt.name == "filterkv":
+            raw = [
+                self.store.device._require(aux_table_name(epoch, rank)).getvalue()
+                for rank in range(self.store.nranks)
+            ]
+            aux = _load_aux_tables(raw, self.store.nranks)
+            self._oracle_aux[epoch] = aux
+        metrics = self.metrics if self.metrics is not NULL_REGISTRY else None
+        values, stats = [], []
+        for lo, hi in self._chunks(arr.size):
+            engine = QueryEngine(
+                device=self.store.device,
+                fmt=self.store.fmt,
+                nranks=self.store.nranks,
+                partitioner=HashPartitioner(self.store.nranks),
+                aux_tables=aux,
+                epoch=epoch,
+                metrics=metrics,
+            )
+            vals, st = engine.get_many(arr[lo:hi])
+            values.extend(vals)
+            stats.extend(st)
+        return values, stats

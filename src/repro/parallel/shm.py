@@ -1,0 +1,309 @@
+"""Zero-copy transport primitives and the worker-side device mirror.
+
+`ShmBlob` is one immutable byte payload crossing the process boundary:
+large payloads land in a ``multiprocessing.shared_memory`` segment and
+pickle as just the segment name; small ones inline into the task pickle
+(a segment per tiny payload would cost more in syscalls than it saves in
+copies).  `BlobMap` packs many named payloads — extents, envelope
+streams, array columns — into a single blob with an offset index.
+
+Ownership is deliberately simple: whoever consumes a blob last calls
+`release(unlink=True)`; the spawn children share the parent's resource
+tracker, so a segment orphaned by a crashed worker is reclaimed at
+process exit rather than leaking past it.
+
+`MirrorDevice` is what pipeline code runs against inside a worker: a
+normal charged `StorageDevice` for everything the task writes, plus
+
+* read-only *snapshot* extents mapped straight onto shared memory (the
+  parent's sealed tables, served zero-copy), and
+* *based* extents — a local tail whose offsets start at a base carried
+  over from the parent (a value log continuing past prior epochs without
+  shipping them).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..storage.blockio import ExtentLostError, StorageDevice
+
+__all__ = [
+    "ShmBlob",
+    "BlobMap",
+    "MirrorDevice",
+    "pack_arrays",
+    "unpack_arrays",
+    "DEFAULT_SHM_MIN_BYTES",
+]
+
+# Below this, a payload inlines into the task pickle; at or above it, a
+# shared-memory segment is worth its two syscalls.
+DEFAULT_SHM_MIN_BYTES = 256 * 1024
+
+
+class ShmBlob:
+    """One immutable byte payload, transportable to pool workers."""
+
+    def __init__(self, inline: bytes | None, shm_name: str | None, nbytes: int):
+        self._inline = inline
+        self._shm_name = shm_name
+        self.nbytes = nbytes
+        self._shm: shared_memory.SharedMemory | None = None
+        self._buf: memoryview | None = None
+
+    @staticmethod
+    def _disarm(seg: shared_memory.SharedMemory) -> memoryview:
+        """Take the segment's buffer and defuse its finalizer.
+
+        ``SharedMemory.__del__`` calls ``close``, which raises — noisily,
+        at interpreter shutdown, in arbitrary GC order — while exported
+        NumPy views are still alive.  Handing the mapping's lifetime to
+        the buffer itself sidesteps that: the fd closes now, the memory
+        unmaps when the last view dies, and the dead handle has nothing
+        left to finalize.
+        """
+        buf = seg._buf  # 3.11-private attrs; the view keeps the mmap alive
+        seg._buf = None
+        seg._mmap = None
+        if getattr(seg, "_fd", -1) >= 0:
+            os.close(seg._fd)
+            seg._fd = -1
+        return buf
+
+    @classmethod
+    def pack(cls, chunks, min_shm_bytes: int = DEFAULT_SHM_MIN_BYTES) -> "ShmBlob":
+        """Concatenate buffer-like ``chunks`` into one blob.
+
+        Chunks are written straight into the segment (one copy total);
+        shared-memory creation failure (no ``/dev/shm``) degrades to the
+        inline pickled form rather than erroring.
+        """
+        views = [memoryview(c).cast("B") for c in chunks]
+        total = sum(v.nbytes for v in views)
+        if total >= min_shm_bytes:
+            try:
+                seg = shared_memory.SharedMemory(create=True, size=max(1, total))
+            except OSError:
+                seg = None
+            if seg is not None:
+                off = 0
+                for v in views:
+                    seg.buf[off : off + v.nbytes] = v
+                    off += v.nbytes
+                blob = cls(None, seg.name, total)
+                blob._shm = seg
+                blob._buf = cls._disarm(seg)
+                return blob
+        return cls(b"".join(views), None, total)
+
+    @property
+    def shared(self) -> bool:
+        return self._shm_name is not None
+
+    def view(self) -> memoryview:
+        """The payload bytes; attaches the segment on first use."""
+        if self._inline is not None:
+            return memoryview(self._inline)
+        if self._buf is None:
+            self._shm = shared_memory.SharedMemory(name=self._shm_name)
+            self._buf = self._disarm(self._shm)
+        return self._buf[: self.nbytes]
+
+    def release(self, unlink: bool = False) -> None:
+        """Drop this consumer's handle (and optionally remove the name).
+
+        The name goes away on unlink; the memory itself goes away when
+        the last view over the mapping dies, so consumers still holding
+        NumPy views over it stay valid.
+        """
+        if self._shm_name is None:
+            return
+        seg = self._shm
+        if seg is None:
+            if not unlink:
+                return
+            try:
+                seg = shared_memory.SharedMemory(name=self._shm_name)
+            except FileNotFoundError:
+                return
+            self._disarm(seg)
+        if unlink:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (e.g. by the resource tracker)
+        self._shm = None
+        self._buf = None
+
+    # Segments are attached by name on the far side; never pickle the
+    # local mapping (it is process-private and holds an open fd).
+    def __getstate__(self):
+        return {"inline": self._inline, "name": self._shm_name, "nbytes": self.nbytes}
+
+    def __setstate__(self, state):
+        self._inline = state["inline"]
+        self._shm_name = state["name"]
+        self.nbytes = state["nbytes"]
+        self._shm = None
+        self._buf = None
+
+
+class BlobMap:
+    """Named byte payloads multiplexed over one `ShmBlob`."""
+
+    def __init__(self, blob: ShmBlob, index: dict[str, tuple[int, int]]):
+        self.blob = blob
+        self.index = index
+
+    @classmethod
+    def pack(cls, items: dict, min_shm_bytes: int = DEFAULT_SHM_MIN_BYTES) -> "BlobMap":
+        index: dict[str, tuple[int, int]] = {}
+        chunks = []
+        off = 0
+        for name, data in items.items():
+            v = memoryview(data).cast("B")
+            index[name] = (off, v.nbytes)
+            chunks.append(v)
+            off += v.nbytes
+        return cls(ShmBlob.pack(chunks, min_shm_bytes), index)
+
+    @property
+    def nbytes(self) -> int:
+        return self.blob.nbytes
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.index
+
+    def names(self) -> list[str]:
+        return sorted(self.index)
+
+    def get(self, name: str) -> memoryview:
+        off, length = self.index[name]
+        return self.blob.view()[off : off + length]
+
+    def release(self, unlink: bool = False) -> None:
+        self.blob.release(unlink=unlink)
+
+
+def pack_arrays(arrays) -> tuple[list[tuple[str, tuple, int, int]], list]:
+    """Flatten NumPy arrays to ``(metas, chunks)`` for `ShmBlob.pack`.
+
+    ``metas`` records ``(dtype, shape, offset, nbytes)`` per array, in
+    order; `unpack_arrays` rebuilds zero-copy views from the blob.
+    """
+    metas: list[tuple[str, tuple, int, int]] = []
+    chunks = []
+    off = 0
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        metas.append((str(a.dtype), tuple(a.shape), off, a.nbytes))
+        if a.nbytes:
+            chunks.append(a.reshape(-1).view(np.uint8))
+        off += a.nbytes
+    return metas, chunks
+
+
+def unpack_arrays(view: memoryview, metas) -> list[np.ndarray]:
+    """Rebuild the arrays `pack_arrays` described, as views over ``view``."""
+    out = []
+    for dtype, shape, off, nbytes in metas:
+        if nbytes:
+            arr = np.frombuffer(view[off : off + nbytes], dtype=np.dtype(dtype))
+        else:
+            arr = np.zeros(0, dtype=np.dtype(dtype))
+        out.append(arr.reshape(shape))
+    return out
+
+
+class MirrorDevice(StorageDevice):
+    """Worker-side `StorageDevice`: charged local writes over a read-only
+    shared-memory snapshot of parent extents, plus base-offset extents
+    for logs that continue past data the worker never sees."""
+
+    def __init__(self, profile=None, metrics=None):
+        super().__init__(profile, metrics)
+        self._snapshot: dict[str, memoryview] = {}
+        self._base: dict[str, int] = {}
+
+    # -- mirror construction ----------------------------------------------
+
+    def map_extent(self, name: str, view: memoryview) -> None:
+        """Serve ``name`` read-only, zero-copy, from ``view``."""
+        if name in self._files:
+            raise FileExistsError(f"extent {name!r} already exists locally")
+        self._snapshot[name] = view
+
+    def set_base(self, name: str, base: int) -> None:
+        """Create a local extent whose offsets start at ``base``.
+
+        Models appending to a parent extent of ``base`` bytes the worker
+        does not have: sizes and append offsets match the parent's view,
+        reads below the base raise (those bytes were never shipped).
+        """
+        if name in self._files or name in self._snapshot:
+            raise FileExistsError(f"extent {name!r} already exists")
+        self._files[name] = io.BytesIO()
+        self._base[name] = int(base)
+
+    def local_extents(self) -> dict[str, bytes]:
+        """Every locally written extent's bytes (based extents export only
+        the tail the worker appended), for adoption by the parent."""
+        return {name: buf.getvalue() for name, buf in self._files.items()}
+
+    # -- StorageDevice surface over the overlay ---------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._files or name in self._snapshot
+
+    def open(self, name: str, create: bool = False):
+        if name in self._snapshot:
+            self.open_handles += 1
+            from ..storage.blockio import StorageFile  # local: avoid cycle at import
+
+            return StorageFile(self, name)
+        return super().open(name, create)
+
+    def file_size(self, name: str) -> int:
+        if name in self._snapshot:
+            return self._snapshot[name].nbytes
+        return super().file_size(name) + self._base.get(name, 0)
+
+    def list_files(self) -> list[str]:
+        return sorted(set(self._files) | set(self._snapshot))
+
+    def total_bytes_stored(self) -> int:
+        return (
+            super().total_bytes_stored()
+            + sum(v.nbytes for v in self._snapshot.values())
+            + sum(self._base.values())
+        )
+
+    def _read(self, name: str, offset: int, size: int) -> bytes:
+        view = self._snapshot.get(name)
+        if view is not None:
+            if offset > view.nbytes:
+                raise ExtentLostError(
+                    f"read at offset {offset} beyond mirrored extent {name!r} "
+                    f"({view.nbytes} B)"
+                )
+            data = bytes(view[offset : offset + size])
+            self._charge_read(len(data))
+            return data
+        base = self._base.get(name, 0)
+        if base:
+            if offset < base:
+                raise ExtentLostError(
+                    f"offset {offset} is below the mirrored base ({base} B) of {name!r}"
+                )
+            offset -= base
+        return super()._read(name, offset, size)
+
+    def _append(self, name: str, data: bytes) -> int:
+        if name in self._snapshot:
+            raise ValueError(f"extent {name!r} is a read-only snapshot mirror")
+        return super()._append(name, data) + self._base.get(name, 0)

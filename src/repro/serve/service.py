@@ -232,6 +232,8 @@ class QueryService:
         default_deadline_s: float | None = None,
         table_cache_entries: int = 64,
         parallel_probe: bool = False,
+        pool=None,
+        pool_min_keys: int = 64,
         metrics: MetricsRegistry | None = None,
         tracer: TraceCollector | None = None,
         stats_window_s: float = 10.0,
@@ -247,6 +249,12 @@ class QueryService:
         self.default_deadline_s = default_deadline_s
         self.table_cache_entries = table_cache_entries
         self.parallel_probe = parallel_probe
+        # Optional WorkerPool: dispatch windows big enough to beat the
+        # shipping cost probe across processes instead of on this thread.
+        self._pool = pool
+        self.pool_min_keys = pool_min_keys
+        self._pooled = None  # lazy PooledReads over (store, pool)
+        self._pool_tasks: set[asyncio.Task] = set()
         self.metrics = metrics if metrics is not None else MetricsRegistry("serve")
         # A real collector even when tracing "off": sample_rate 0 means
         # the service originates no traces, but a request that arrives
@@ -287,6 +295,7 @@ class QueryService:
         self._m_occupancy = m.histogram("serve.batch_occupancy")
         self._m_deadline_dropped = m.counter("serve.deadline_dropped")
         self._m_inflight_gauge = m.gauge("serve.inflight")
+        self._m_pooled_windows = m.counter("serve.pooled_windows")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -303,6 +312,11 @@ class QueryService:
             self._queue.put_nowait(None)  # sentinel: FIFO, so admitted work drains first
             await self._dispatcher
             self._dispatcher = None
+        if self._pool_tasks:  # pooled windows still out on the workers
+            await asyncio.gather(*list(self._pool_tasks), return_exceptions=True)
+        if self._pooled is not None:
+            self._pooled.release()
+            self._pooled = None
         for engine in self._engines.values():
             engine.close()
         self._engines.clear()
@@ -634,6 +648,26 @@ class QueryService:
         for pending in live:
             by_epoch.setdefault(pending.epoch, []).append(pending)
         for token, items in by_epoch.items():
+            if (
+                self._pool is not None
+                and isinstance(token, int)
+                and len(items) >= self.pool_min_keys
+                and not any(p.traced for p in items)
+            ):
+                # Big untraced single-epoch window: probe it on the worker
+                # pool without blocking this dispatch loop.  Answers are
+                # identical to the in-process path (the workers run the
+                # same engine over a snapshot); the negative cache is
+                # bypassed — it only ever removes probes known to miss —
+                # and traced windows stay in-process so span attribution
+                # keeps its lead-member convention.
+                self._m_pooled_windows.inc()
+                task = asyncio.get_running_loop().create_task(
+                    self._run_group_pooled(token, items)
+                )
+                self._pool_tasks.add(task)
+                task.add_done_callback(self._pool_tasks.discard)
+                continue
             try:
                 if isinstance(token, tuple):
                     runner = lambda items=items: self._probe_any(items)  # noqa: E731
@@ -661,6 +695,36 @@ class QueryService:
                                 detail=repr(e),
                             ),
                         )
+
+    def _pooled_reads(self):
+        if self._pooled is None:
+            from ..parallel.reads import PooledReads  # local: avoid cycle
+
+            self._pooled = PooledReads(
+                self.store,
+                self._pool,
+                min_keys=self.pool_min_keys,
+                metrics=self.metrics,
+            )
+        return self._pooled
+
+    async def _run_group_pooled(self, epoch: int, items: list[_Pending]) -> None:
+        """One dispatch window probed across the worker pool."""
+        try:
+            keys = np.fromiter((p.key for p in items), dtype=np.uint64, count=len(items))
+            values, _ = await self._pooled_reads().get_many_async(keys, epoch)
+            for pending, value in zip(items, values):
+                status = OK if value is not None else NOT_FOUND
+                self._finish(
+                    pending, ServeResponse(status, pending.key, epoch, value=value)
+                )
+        except Exception as e:  # fail this window loudly, keep serving
+            for pending in items:
+                if not pending.future.done():
+                    self._finish(
+                        pending,
+                        ServeResponse(ERROR, pending.key, epoch, detail=repr(e)),
+                    )
 
     def _probe_group(self, engine, epoch: int, items: list[_Pending]) -> None:
         """One live epoch's window: bulk-probe and finish every pending."""
@@ -906,6 +970,8 @@ class QueryService:
         out["queue_depth"] = self._queue.qsize()
         out["shedding"] = self._shedder.shedding
         out["traces_retained"] = len(self.tracer)
+        if self._pool is not None:
+            out["workers"] = self._pool.stats()
         return out
 
     def recent_traces(self, n: int = 8) -> list[list[dict]]:

@@ -188,3 +188,38 @@ def test_multiepoch_store_queries_leak_nothing():
             value, _ = attached.get(int(b.keys[i]), 0)
             assert value == b.value_of(i)
     assert attached.device.open_handles == baseline
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS, ids=lambda f: f.name)
+def test_pooled_reads_leak_no_parent_handles(fmt):
+    """Reader and value-log handles never cross the spawn boundary.
+
+    Pool workers open their own readers against a shared-memory mirror;
+    the parent's device must see zero handle traffic from a pooled
+    `get_many` beyond the snapshot pack, and the serial oracle (fresh
+    uncached engines per chunk) must stay balanced too.  `release()`
+    returns the store to its pre-attach handle count.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.parallel import WorkerPool
+
+    store = MultiEpochStore(nranks=4, fmt=fmt, value_bytes=24, seed=3)
+    rng = np.random.default_rng(3)
+    batches = [random_kv_batch(300, 24, rng) for _ in range(4)]
+    store.write_epoch(batches)
+    keys = np.concatenate(
+        [batches[0].keys[:40], rng.integers(0, 2**63, 100, dtype=np.uint64)]
+    )
+
+    with WorkerPool(workers=2, metrics=MetricsRegistry("pool")) as pool:
+        pooled = store.attach_pool(pool, min_keys=1)
+        baseline = store.device.open_handles
+        values, _ = pooled.get_many(keys, 0)
+        assert sum(1 for v in values if v is not None) >= 40
+        assert store.device.open_handles == baseline, "pooled path leaked handles"
+        sv, _ = pooled.serial_get_many(keys, 0)
+        assert sv == values
+        assert store.device.open_handles == baseline, "serial oracle leaked handles"
+        pooled.release()
+        assert store.device.open_handles == baseline
+    store.close()

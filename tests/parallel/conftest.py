@@ -1,0 +1,26 @@
+"""Shared fixtures for the parallel suite.
+
+Spawning workers costs ~0.5 s each, so one warmed session-scoped pool is
+shared by every equivalence test; tests that poison their pool (crash
+injection) build their own.
+
+``REPRO_POOL_WORKERS`` overrides the shared pool's size (CI sweeps 1, 2,
+and all-cores — equivalence must hold at every width); ``0`` means
+`default_workers()`.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel import WorkerPool
+from repro.parallel.pool import default_workers
+
+
+@pytest.fixture(scope="session")
+def pool():
+    workers = int(os.environ.get("REPRO_POOL_WORKERS", "2")) or default_workers()
+    with WorkerPool(workers=workers, metrics=MetricsRegistry("pool")) as p:
+        p.warm()
+        yield p

@@ -1,0 +1,97 @@
+"""WorkerPool basics: dispatch, telemetry, and crash fallback."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel import BlobMap, MirrorDevice, PoolFaultPlan, ShmBlob, WorkerPool
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(_x):
+    raise ValueError("task error")
+
+
+def test_run_preserves_order(pool):
+    assert pool.run(_double, list(range(7))) == [0, 2, 4, 6, 8, 10, 12]
+
+
+def test_submit_resolves_future(pool):
+    assert pool.submit(_double, 21).result(timeout=30) == 42
+
+
+def test_task_exception_propagates(pool):
+    with pytest.raises(ValueError, match="task error"):
+        pool.submit(_boom, 1).result(timeout=30)
+
+
+def test_stats_shape(pool):
+    pool.run(_double, [1, 2, 3])
+    s = pool.stats()
+    assert s["configured_workers"] >= 1  # sized by REPRO_POOL_WORKERS in CI
+    assert s["tasks"] >= 3
+    assert s["batches"] >= 1
+    assert s["busy_workers"] == 0  # idle between calls
+    assert s["shm_bytes"] == 0
+
+
+def test_worker_crash_falls_back_in_process():
+    """A dying worker must not change answers: the lost task re-runs
+    in-process and the failure is counted."""
+    reg = MetricsRegistry("crash")
+    with WorkerPool(workers=2, metrics=reg, fault_plan=PoolFaultPlan(kill_task=1)) as p:
+        assert p.run(_double, [10, 20, 30]) == [20, 40, 60]
+        assert p.stats()["worker_failures"] >= 1
+        # The pool respawned: later batches run normally.
+        assert p.run(_double, [4]) == [8]
+
+
+def test_submit_crash_falls_back_in_process():
+    reg = MetricsRegistry("crash-submit")
+    with WorkerPool(workers=1, metrics=reg, fault_plan=PoolFaultPlan(kill_task=0)) as p:
+        assert p.submit(_double, 5).result(timeout=60) == 10
+        assert p.stats()["worker_failures"] >= 1
+
+
+def test_shm_blob_roundtrip_shared_and_inline():
+    big = np.arange(200_000, dtype=np.uint64)
+    blob = ShmBlob.pack([big])
+    assert blob.shared  # above the segment threshold
+    got = np.frombuffer(blob.view(), dtype=np.uint64)
+    assert np.array_equal(got, big)
+    del got
+    blob.release(unlink=True)
+
+    small = ShmBlob.pack([b"abc", b"def"])
+    assert not small.shared
+    assert bytes(small.view()) == b"abcdef"
+    small.release(unlink=True)  # no-op for inline blobs
+
+
+def test_blobmap_named_payloads():
+    m = BlobMap.pack({"a": b"xyz", "b": np.arange(4, dtype=np.uint8)})
+    assert m.names() == ["a", "b"]
+    assert bytes(m.get("a")) == b"xyz"
+    assert bytes(m.get("b")) == bytes(range(4))
+    m.release(unlink=True)
+
+
+def test_mirror_device_snapshot_and_base():
+    dev = MirrorDevice()
+    dev.map_extent("part.000.r0", memoryview(b"sealed-bytes"))
+    assert dev.exists("part.000.r0")
+    assert dev.file_size("part.000.r0") == len(b"sealed-bytes")
+    with dev.open("part.000.r0") as f:
+        assert f.read(0, 6) == b"sealed"
+    with pytest.raises(ValueError):
+        dev._append("part.000.r0", b"nope")  # snapshots are read-only
+
+    dev.set_base("vlog.r0", 100)
+    with dev.open("vlog.r0", create=False) as f:
+        off = f.append(b"tail")
+    assert off == 100  # offsets continue past the parent's bytes
+    assert dev.file_size("vlog.r0") == 104
+    assert dev.local_extents()["vlog.r0"] == b"tail"  # only the tail ships back

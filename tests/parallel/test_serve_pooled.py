@@ -1,0 +1,106 @@
+"""`QueryService(pool=...)` answers identically to the in-process
+service, while big dispatch windows actually route through the workers."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.formats import FORMATS
+from repro.core.kv import random_kv_batch
+from repro.core.multiepoch import MultiEpochStore
+from repro.obs import MetricsRegistry
+from repro.serve.service import QueryService
+from repro.storage.blockio import StorageDevice
+
+NRANKS = 4
+
+
+def _build_store(fmt):
+    store = MultiEpochStore(
+        nranks=NRANKS,
+        fmt=FORMATS[fmt],
+        value_bytes=24,
+        device=StorageDevice(metrics=MetricsRegistry("dev")),
+        seed=7,
+    )
+    rng = np.random.default_rng(42)
+    written = []
+    for _ in range(2):
+        batches = [random_kv_batch(200, 24, rng) for _ in range(NRANKS)]
+        written.append(np.concatenate([b.keys for b in batches]))
+        store.write_epoch(batches)
+    return store, written
+
+
+def _probe_keys(written):
+    rng = np.random.default_rng(1)
+    return np.concatenate(
+        [rng.integers(0, 2**63, 200, dtype=np.uint64), written[-1][:40]]
+    )
+
+
+async def _serve_all(store, keys, epoch, pool):
+    kwargs = {"max_batch": 256, "max_inflight": 4096}
+    if pool is not None:
+        kwargs.update(pool=pool, pool_min_keys=8)
+    async with QueryService(store, **kwargs) as svc:
+        res = await asyncio.gather(*(svc.get(int(k), epoch=epoch) for k in keys))
+        if pool is not None:
+            assert svc.metrics.total("serve.pooled_windows") > 0, "pooled path never ran"
+            workers = svc.live_stats()["workers"]
+            assert workers["configured_workers"] >= 1
+            assert workers["tasks"] > 0
+    return [(r.status, r.value, r.epoch) for r in res]
+
+
+@pytest.mark.parametrize("fmt", ["base", "dataptr", "filterkv"])
+def test_pooled_serving_answers_identically(fmt, pool):
+    A, written = _build_store(fmt)
+    B, _ = _build_store(fmt)
+    keys = _probe_keys(written)
+    epoch = A.epochs[-1]
+    ra = asyncio.run(_serve_all(A, keys, epoch, None))
+    rb = asyncio.run(_serve_all(B, keys, epoch, pool))
+    assert ra == rb
+    assert sum(1 for s, _, _ in ra if s == "ok") >= 40
+    A.close()
+    B.close()
+
+
+def test_top_frame_shows_workers_panel(pool):
+    """`repro top` renders the pool gauges when the service has workers."""
+    from repro.cli import _render_top_frame
+
+    store, written = _build_store("base")
+
+    async def run():
+        async with QueryService(store, pool=pool, pool_min_keys=8) as svc:
+            await asyncio.gather(*(svc.get(int(k), epoch=1) for k in written[-1][:64]))
+            live = svc.live_stats()
+            live["workers"]["batches_per_s"] = 1.5  # what two top frames derive
+            return _render_top_frame(live, svc.stats(), [], "inproc")
+
+    frame = asyncio.run(run())
+    assert "workers" in frame
+    assert "busy" in frame and "batches" in frame and "shm" in frame
+    assert "(1.5/s)" in frame
+    store.close()
+
+
+def test_small_windows_stay_in_process(pool):
+    """Below ``pool_min_keys`` the shipping cost beats the parallelism:
+    the window must run on the event-loop thread."""
+    store, written = _build_store("base")
+
+    async def run():
+        async with QueryService(store, pool=pool, pool_min_keys=512) as svc:
+            res = await asyncio.gather(
+                *(svc.get(int(k), epoch=1) for k in written[-1][:16])
+            )
+            assert svc.metrics.total("serve.pooled_windows") == 0
+            return res
+
+    res = asyncio.run(run())
+    assert all(r.status == "ok" for r in res)
+    store.close()
